@@ -1,0 +1,54 @@
+"""Shared helpers for the table/figure regeneration benchmarks.
+
+Every benchmark regenerates one paper artifact at ``full`` scale and
+prints the resulting table (run with ``-s`` to see them inline; the
+tables are also appended to ``benchmarks/results.txt``).
+
+pytest-benchmark is used in single-shot mode (``pedantic`` with one
+round): the interesting output is the regenerated table, and the
+benchmark timing records how long the regeneration takes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict
+
+import pytest
+
+from repro.harness.experiments import ExperimentResult
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+#: Cross-test cache so Figures 10-13 share one delay sweep.
+_cache: Dict[str, object] = {}
+
+
+def cached(key: str, compute: Callable[[], object]) -> object:
+    if key not in _cache:
+        _cache[key] = compute()
+    return _cache[key]
+
+
+def record(result: ExperimentResult) -> ExperimentResult:
+    text = result.render()
+    print()
+    print(text)
+    with open(RESULTS_PATH, "a", encoding="utf-8") as handle:
+        handle.write(text + "\n\n")
+    return result
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    if os.path.exists(RESULTS_PATH):
+        os.remove(RESULTS_PATH)
+    yield
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark."""
+    return benchmark.pedantic(
+        func, args=args, kwargs=kwargs,
+        rounds=1, iterations=1, warmup_rounds=0,
+    )

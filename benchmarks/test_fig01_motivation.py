@@ -1,0 +1,26 @@
+"""Figure 1: fine-grained synchronization overheads (motivation).
+
+Regenerates the hashtable contention sweep: GPU-vs-serial-CPU time
+(1b), sync share of dynamic instructions (1c) and memory transactions
+(1d), and single- vs multi-warp SIMD efficiency (1e).
+"""
+
+from conftest import record, run_once
+
+from repro.harness.experiments import fig1
+
+
+def test_fig1_motivation(benchmark):
+    result = run_once(benchmark, fig1, scale="full")
+    record(result)
+    rows = {row["buckets"]: row for row in result.rows}
+    high = rows[min(rows)]
+    low = rows[max(rows)]
+    # Paper: sync overhead dominates instructions and memory traffic at
+    # high contention and falls as buckets grow.
+    assert high["sync_instr_frac"] > 0.5
+    assert high["sync_mem_frac"] > 0.4
+    assert low["sync_instr_frac"] < high["sync_instr_frac"]
+    # Paper: SIMD efficiency is high for a single warp and collapses
+    # with many warps (inter-warp lock conflicts).
+    assert high["simd_single_warp"] > high["simd_multi_warp"]

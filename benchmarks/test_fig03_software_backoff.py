@@ -1,0 +1,24 @@
+"""Figure 3: software-only back-off vs hardware back-off (BOWS)."""
+
+from conftest import record, run_once
+
+from repro.harness.experiments import fig3
+
+
+def test_fig3_software_backoff(benchmark):
+    result = run_once(benchmark, fig3, scale="full")
+    record(result)
+    rows = {row["scheme"]: row for row in result.rows}
+    baseline = rows["no delay"]
+    sw = rows["sw delay(1000)"]
+    hw = rows["BOWS (hardware)"]
+    # Paper: the delay loop itself consumes issue slots — its dynamic
+    # instruction cost is enormous (every polled clock() is an issue).
+    assert sw["warp_instructions"] > 2 * baseline["warp_instructions"]
+    # BOWS delivers back-off while *removing* instructions instead.
+    assert hw["warp_instructions"] < baseline["warp_instructions"]
+    assert hw["warp_instructions"] < 0.5 * sw["warp_instructions"]
+    # Hardware back-off dominates software back-off on energy.
+    assert hw["normalized_energy"] < sw["normalized_energy"]
+    # And is at least as fast.
+    assert hw["normalized_time"] <= sw["normalized_time"] * 1.1

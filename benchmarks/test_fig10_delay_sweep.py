@@ -1,0 +1,37 @@
+"""Figure 10: execution time vs back-off delay limit.
+
+Runs the GTO+BOWS delay sweep shared by Figures 10-13 (cached in
+``conftest`` so the other figures reuse the same simulations).
+"""
+
+from conftest import cached, record, run_once
+
+from repro.harness.experiments import fig10, run_delay_sweep
+
+
+def test_fig10_delay_sweep(benchmark):
+    sweep = run_once(
+        benchmark,
+        lambda: cached("delay_sweep", lambda: run_delay_sweep("full")),
+    )
+    result = fig10(sweep=sweep)
+    record(result)
+    rows = {r["kernel"]: r for r in result.rows}
+    fixed_delays = (0, 500, 1000, 3000, 5000)
+    # Paper: oversized fixed delays throttle kernels whose loop closes
+    # on productive iterations (ST, NW degrade badly at 5000); the
+    # adaptive limit escapes that cliff.
+    for kernel, row in rows.items():
+        worst = row["bows(5000)"]
+        if worst > 1.5:
+            assert row["bows(adaptive)"] < worst, kernel
+            assert row["bows(adaptive)"] < 1.8, kernel
+    # Paper: on the lock-contended kernels the adaptive limit tracks
+    # (or beats) the best fixed choice.
+    for kernel in ("ht", "atm", "ds"):
+        fixed = [rows[kernel][f"bows({d})"] for d in fixed_delays]
+        assert rows[kernel]["bows(adaptive)"] <= min(fixed) * 1.35, kernel
+    # TSP stays roughly flat under the adaptive limit (its sync share
+    # is tiny; note our TSP is *more* lock-bound than the paper's, so
+    # large fixed delays help here instead of hurting — EXPERIMENTS.md).
+    assert 0.7 <= rows["tsp"]["bows(adaptive)"] <= 1.3

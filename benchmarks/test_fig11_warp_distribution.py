@@ -1,0 +1,24 @@
+"""Figure 11: backed-off warp occupancy across delay limits."""
+
+from conftest import cached, record, run_once
+
+from repro.harness.experiments import fig11, run_delay_sweep
+
+
+def test_fig11_warp_distribution(benchmark):
+    sweep = run_once(
+        benchmark,
+        lambda: cached("delay_sweep", lambda: run_delay_sweep("full")),
+    )
+    result = fig11(sweep=sweep)
+    record(result)
+    rows = {r["kernel"]: r for r in result.rows}
+    for kernel, row in rows.items():
+        # Plain GTO never backs anything off.
+        assert row["gto"] == 0.0
+        # Paper: the backed-off fraction grows with the delay limit once
+        # past the kernel's natural iteration time.
+        assert row["bows(5000)"] >= row["bows(0)"], kernel
+    # The lock-heavy kernels spend a large share of warps backed off at
+    # large delays.
+    assert rows["ht"]["bows(5000)"] > 0.2

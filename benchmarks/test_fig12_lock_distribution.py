@@ -1,0 +1,20 @@
+"""Figure 12: synchronization outcome totals across delay limits."""
+
+from conftest import cached, record, run_once
+
+from repro.harness.experiments import fig12, run_delay_sweep
+
+
+def test_fig12_lock_distribution(benchmark):
+    sweep = run_once(
+        benchmark,
+        lambda: cached("delay_sweep", lambda: run_delay_sweep("full")),
+    )
+    result = fig12(sweep=sweep)
+    record(result)
+    rows = {r["kernel"]: r for r in result.rows}
+    # Paper: BOWS sharply reduces failed lock acquires on the
+    # lock-contended kernels (10.8x on HT vs GTO).
+    for kernel in ("ht", "atm", "ds"):
+        assert rows[kernel]["bows(5000)"] < rows[kernel]["gto"], kernel
+    assert result.headline.get("ht_attempt_reduction_adaptive", 1.0) > 1.2

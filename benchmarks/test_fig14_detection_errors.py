@@ -1,0 +1,22 @@
+"""Figure 14: overheads from MODULO-hash false spin detections."""
+
+from conftest import record, run_once
+
+from repro.harness.experiments import fig14
+
+
+def test_fig14_detection_errors(benchmark):
+    result = run_once(benchmark, fig14, scale="full")
+    record(result)
+    rows = {r["kernel"]: r for r in result.rows}
+    # Paper: MS and HL have power-of-two-stride loops that MODULO
+    # hashing falsely flags, so large back-off delays slow them down.
+    assert rows["ms"]["bows(5000)"] > 1.05
+    assert rows["hl"]["bows(5000)"] > 1.05
+    # Paper: kernels without such loops are unaffected even by MODULO.
+    assert rows["kmeans"]["bows(5000)"] < 1.05
+    assert rows["vecadd"]["bows(5000)"] < 1.05
+    # Paper: with XOR hashing there are no false detections at all, so
+    # sync-free kernels match the baseline.
+    for kernel, row in rows.items():
+        assert row["bows(5000)+xor"] < 1.05, kernel

@@ -1,0 +1,27 @@
+"""Figure 15: BOWS performance and energy on the GTX1080Ti-shaped machine."""
+
+from conftest import record, run_once
+
+from repro.harness.experiments import fig15
+
+
+def test_fig15_bows_pascal(benchmark):
+    result = run_once(benchmark, fig15, scale="full")
+    record(result)
+    headline = result.headline
+    # Paper: speedups of 1.9x / 1.7x / 1.5x over LRR / GTO / CAWA on
+    # Pascal; direction must hold at our scale for LRR/GTO (CAWA has a
+    # documented wait-pipeline deviation, EXPERIMENTS.md deviation 4).
+    for base in ("lrr", "gto"):
+        assert headline[f"speedup_vs_{base}"] > 1.0, headline
+    assert headline["speedup_vs_cawa"] > 0.6, headline
+    # Paper (Section VI-D): with four schedulers per SM each arbitrates
+    # among few warps, so the *baselines* are closer together on Pascal
+    # than on Fermi for most kernels.
+    rows = {r["kernel"]: r for r in result.rows}
+    spreads = [
+        max(r["lrr_time"], r["gto_time"], r["cawa_time"])
+        / max(min(r["lrr_time"], r["gto_time"], r["cawa_time"]), 1e-9)
+        for r in rows.values()
+    ]
+    assert min(spreads) < 1.2

@@ -1,0 +1,29 @@
+"""Figure 16: sensitivity to contention + ideal-blocking (HQL) proxy."""
+
+from conftest import record, run_once
+
+from repro.harness.experiments import fig16
+
+
+def test_fig16_contention(benchmark):
+    result = run_once(benchmark, fig16, scale="full")
+    record(result)
+    rows = {r["buckets"]: r for r in result.rows}
+    high = rows[min(rows)]   # fewest buckets = most contention
+    low = rows[max(rows)]
+    # Paper: BOWS's speedup is largest at high contention (5x at 128
+    # buckets for their scale) and tapers off at low contention (1.2x).
+    assert high["bows_speedup"] > low["bows_speedup"] * 0.9
+    assert high["bows_speedup"] > 1.1
+    # Paper: the benefit of an idealized queueing lock over BOWS
+    # diminishes as buckets grow (Figure 16b) — the BOWS/ideal
+    # instruction ratio converges toward 1.
+    ratio_high = high["bows_instr"] / high["ideal_blocking_instr"]
+    ratio_low = low["bows_instr"] / low["ideal_blocking_instr"]
+    assert ratio_low < ratio_high
+    # BOWS removes spin instructions where there is contention to
+    # remove; the ideal blocking lock is always the floor.
+    assert high["bows_instr"] < 0.9
+    for row in result.rows:
+        assert row["bows_instr"] < 1.1
+        assert row["ideal_blocking_instr"] < row["bows_instr"]

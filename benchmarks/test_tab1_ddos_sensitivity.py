@@ -1,0 +1,41 @@
+"""Table I: DDOS detection accuracy vs design parameters."""
+
+from conftest import record, run_once
+
+from repro.harness.experiments import tab1
+
+
+def test_tab1_ddos_sensitivity(benchmark):
+    result = run_once(benchmark, tab1, scale="full")
+    record(result)
+    rows = {(r["sweep"], r["setting"]): r for r in result.rows}
+
+    default = rows[("hashing", "xor, m=k=8")]
+    # Paper headline: XOR with 8-bit hashes detects every spin loop
+    # with zero false detections.
+    assert default["TSDR"] == 1.0
+    assert default["FSDR"] == 0.0
+
+    # Paper: MODULO hashing falsely detects power-of-two-stride loops
+    # (strictly more false detections than XOR).
+    assert (rows[("hashing", "modulo, m=k=8")]["FSDR"]
+            > default["FSDR"])
+
+    # Paper: 2-bit hashes alias; 8-bit hashes are clean.
+    assert rows[("width", "m=k=2")]["FSDR"] >= rows[("width", "m=k=8")]["FSDR"]
+
+    # Paper: larger confidence thresholds lengthen the detection phase.
+    assert (
+        rows[("threshold", "t=12")]["DPR(true)"]
+        >= rows[("threshold", "t=2")]["DPR(true)"]
+    )
+
+    # Paper: too-short history registers cannot capture the loop period.
+    assert rows[("history", "l=1")]["TSDR"] == 0.0
+    assert rows[("history", "l=8")]["TSDR"] == 1.0
+
+    # Paper: time-sharing the history registers degrades detection.
+    assert (
+        rows[("time-sharing", "sh=1, m=k=8")]["TSDR"]
+        <= rows[("time-sharing", "sh=0, m=k=8")]["TSDR"]
+    )

@@ -1,0 +1,17 @@
+"""Table III: per-SM storage cost of DDOS + BOWS."""
+
+from conftest import record, run_once
+
+from repro.harness.experiments import tab3
+
+
+def test_tab3_hardware_cost(benchmark):
+    result = run_once(benchmark, tab3)
+    record(result)
+    rows = {r["component"]: r for r in result.rows}
+    # Paper-exact components.
+    assert rows["SIB-PT"]["bits"] == 560
+    assert rows["History registers"]["bits"] == 9216
+    assert rows["Pending delay counters"]["bits"] == 672
+    # Total storage stays under 1.5 KB per SM.
+    assert result.headline["total_bytes"] < 1536

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Author your own kernel in the PTX-like assembly and simulate it.
+
+Demonstrates the full public authoring path: write assembly text with a
+spin lock (annotated for the metrics layer), assemble it, set up global
+memory by hand, launch on a GPU instance, and inspect both the final
+memory image and the scheduler statistics — including DDOS finding your
+spin loop without being told where it is.
+
+The kernel: every thread atomically pushes its thread id onto a single
+shared stack protected by one global spin lock.
+
+Run:  python examples/custom_kernel.py
+"""
+
+from repro import (
+    GPU,
+    GlobalMemory,
+    KernelLaunch,
+    assemble,
+    make_config,
+)
+
+SOURCE = r"""
+    ld.param %r_lock, [lock]
+    ld.param %r_top, [top]
+    ld.param %r_stack, [stack]
+    mov %r_done, 0
+SPIN:
+    atom.cas %r_old, [%r_lock], 0, 1 !lock_try !sync
+    setp.eq %p1, %r_old, 0 !sync
+    @%p1 bra PUSH !sync
+    bra JOIN !sync
+PUSH:
+    // critical section: stack[top] = gtid; top += 1
+    ld.global.cg %r_t, [%r_top]
+    shl %r_addr, %r_t, 2
+    add %r_addr, %r_stack, %r_addr
+    st.global [%r_addr], %gtid
+    add %r_t, %r_t, 1
+    st.global [%r_top], %r_t
+    mov %r_done, 1
+    membar !sync
+    atom.exch %r_ig, [%r_lock], 0 !lock_release !sync
+JOIN:
+    setp.eq %p2, %r_done, 0 !sync
+    @%p2 bra SPIN !sib !sync
+    exit
+"""
+
+N_THREADS = 128
+
+
+def main() -> None:
+    program = assemble(SOURCE, name="stack_push")
+    print(f"Assembled {program.static_size} instructions, "
+          f"{len(program.blocks)} basic blocks")
+    print(f"Backward branches at {sorted(program.backward_branches())}, "
+          f"reconvergence points {program.reconvergence}")
+
+    memory = GlobalMemory(1 << 16)
+    lock = memory.alloc(1)
+    top = memory.alloc(1)
+    stack = memory.alloc(N_THREADS)
+
+    launch = KernelLaunch(
+        program=program,
+        grid_dim=2,
+        block_dim=64,
+        params={"lock": lock, "top": top, "stack": stack},
+    )
+
+    gpu = GPU(make_config("gto", bows=True), memory=memory)
+    result = gpu.launch(launch)
+
+    pushed = sorted(int(v) for v in memory.load_array(stack, N_THREADS))
+    assert memory.read_word(top) == N_THREADS, "lost pushes!"
+    assert pushed == list(range(N_THREADS)), "duplicate or missing ids!"
+    print(f"\nAll {N_THREADS} thread ids pushed exactly once — the spin "
+          "lock held up.")
+
+    stats = result.stats
+    print(f"cycles: {result.cycles}, warp instructions: "
+          f"{stats.warp_instructions}")
+    print(f"lock acquires: {stats.locks.lock_success} succeeded, "
+          f"{stats.locks.inter_warp_fail} inter-warp / "
+          f"{stats.locks.intra_warp_fail} intra-warp failures")
+    print(f"DDOS found the spin branch at {sorted(result.predicted_sibs())} "
+          f"(ground truth {sorted(program.true_sibs())})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""DDOS demo: watch the spin detector tell busy-wait from normal loops.
+
+Recreates the paper's Figure 7 walk-through:
+
+1. a busy-wait loop (the hashtable's lock acquire) whose ``setp``
+   path/value history repeats, so DDOS confirms its backward branch as
+   a spin-inducing branch (SIB);
+2. a normal ``for`` loop (kmeans-style) whose induction variable
+   changes every iteration, so DDOS leaves it alone;
+3. the MODULO-hashing failure mode: a merge-sort-style loop with a
+   power-of-two stride whose low hash bits never change — falsely
+   detected under MODULO, clean under XOR.
+
+Run:  python examples/spin_detection.py
+"""
+
+from repro import DDOSConfig, build_workload, make_config, run_workload
+
+
+def detect(kernel: str, ddos: DDOSConfig, **params):
+    config = make_config("gto", ddos=ddos)
+    result = run_workload(build_workload(kernel, **params), config)
+    program = result.launch.program
+    return {
+        "true_sibs": sorted(program.true_sibs()),
+        "backward_branches": sorted(program.backward_branches()),
+        "detected": sorted(result.predicted_sibs()),
+    }
+
+
+def show(title: str, outcome: dict) -> None:
+    print(f"\n== {title}")
+    print(f"   backward branches : {outcome['backward_branches']}")
+    print(f"   true spin branches: {outcome['true_sibs']}")
+    print(f"   DDOS detected     : {outcome['detected']}")
+
+
+def main() -> None:
+    xor = DDOSConfig(hashing="xor")
+    modulo = DDOSConfig(hashing="modulo")
+
+    ht = detect("ht", xor, n_threads=256, n_buckets=8,
+                items_per_thread=1, block_dim=128)
+    show("Busy-wait loop (hashtable lock acquire), XOR hashing", ht)
+    assert ht["detected"] == ht["true_sibs"], "expected perfect detection"
+
+    kmeans = detect("kmeans", xor, n_threads=128, per_thread=16,
+                    block_dim=64)
+    show("Normal for-loop (kmeans copy, Figure 7c), XOR hashing", kmeans)
+    assert kmeans["detected"] == [], "normal loop must not be flagged"
+
+    ms_modulo = detect("ms", modulo, n_threads=128, iterations=16,
+                       stride=256, block_dim=64)
+    show("Power-of-two-stride loop (merge sort), MODULO hashing",
+         ms_modulo)
+    assert ms_modulo["detected"], (
+        "MODULO hashing should falsely flag the strided loop"
+    )
+
+    ms_xor = detect("ms", xor, n_threads=128, iterations=16, stride=256,
+                    block_dim=64)
+    show("Same loop, XOR hashing", ms_xor)
+    assert ms_xor["detected"] == [], "XOR hashing must stay clean"
+
+    print("\nAll detection outcomes match the paper's Table I story:")
+    print("  XOR m=k=8: every spin loop found, zero false detections;")
+    print("  MODULO: blind to power-of-two strides above 2^k.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Shim for environments whose setuptools predates PEP 660 editable installs."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,82 @@
+"""repro — reproduction of "Warp Scheduling for Fine-Grained Synchronization".
+
+ElTantawy & Aamodt, HPCA 2018: BOWS (Back-Off Warp Spinning) + DDOS
+(Dynamic Detection Of Spinning), reproduced on a from-scratch cycle-level
+SIMT GPU simulator.
+
+Quickstart::
+
+    from repro import build_workload, make_config, run_workload
+
+    workload = build_workload("ht", n_threads=512, n_buckets=64)
+    baseline = run_workload(workload, make_config("gto"))
+    bows = run_workload(build_workload("ht"), make_config("gto", bows=True))
+    print(baseline.cycles / bows.cycles)  # BOWS speedup
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure and table.
+"""
+
+from repro.core import hardware_cost
+from repro.core.adaptive import AdaptiveDelayController
+from repro.core.bows import BOWSUnit
+from repro.core.ddos import DDOSEngine, hash_modulo, hash_xor
+from repro.harness.runner import make_config, run_workload
+from repro.isa import AssemblyError, Program, assemble
+from repro.kernels import (
+    SYNC_FREE_KERNELS,
+    SYNC_KERNELS,
+    Workload,
+    WorkloadError,
+    build as build_workload,
+    kernel_names,
+)
+from repro.memory.memsys import GlobalMemory
+from repro.sim.config import (
+    BOWSConfig,
+    DDOSConfig,
+    GPUConfig,
+    fermi_config,
+    pascal_config,
+)
+from repro.sim.gpu import (
+    GPU,
+    KernelLaunch,
+    SimResult,
+    SimulationDeadlock,
+    SimulationTimeout,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GPU",
+    "AdaptiveDelayController",
+    "AssemblyError",
+    "BOWSConfig",
+    "BOWSUnit",
+    "DDOSConfig",
+    "DDOSEngine",
+    "GPUConfig",
+    "GlobalMemory",
+    "KernelLaunch",
+    "Program",
+    "SYNC_FREE_KERNELS",
+    "SYNC_KERNELS",
+    "SimResult",
+    "SimulationDeadlock",
+    "SimulationTimeout",
+    "Workload",
+    "WorkloadError",
+    "assemble",
+    "build_workload",
+    "fermi_config",
+    "hardware_cost",
+    "hash_modulo",
+    "hash_xor",
+    "kernel_names",
+    "make_config",
+    "pascal_config",
+    "run_workload",
+    "__version__",
+]

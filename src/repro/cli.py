@@ -1,0 +1,129 @@
+"""Command-line interface: regenerate paper artifacts and run kernels.
+
+Usage::
+
+    python -m repro list                      # what can run
+    python -m repro experiment fig9           # regenerate Figure 9
+    python -m repro experiment tab1 --scale quick
+    python -m repro run ht --scheduler gto --bows adaptive
+    python -m repro run ht --param n_buckets=8 --param n_threads=512
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.harness.experiments import ALL_EXPERIMENTS, run_delay_sweep
+from repro.harness.runner import make_config, run_workload
+from repro.kernels import build as build_workload, kernel_names
+
+
+def _parse_params(items: List[str]) -> dict:
+    params = {}
+    for item in items:
+        if "=" not in item:
+            raise SystemExit(f"--param expects name=value, got {item!r}")
+        name, value = item.split("=", 1)
+        params[name] = int(value)
+    return params
+
+
+def _cmd_list(_args) -> int:
+    print("experiments:", ", ".join(sorted(ALL_EXPERIMENTS)))
+    print("kernels:    ", ", ".join(kernel_names()))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    name = args.name
+    if name not in ALL_EXPERIMENTS:
+        raise SystemExit(
+            f"unknown experiment {name!r}; try: "
+            f"{', '.join(sorted(ALL_EXPERIMENTS))}"
+        )
+    func = ALL_EXPERIMENTS[name]
+    start = time.time()
+    if name in ("fig10", "fig11", "fig12", "fig13"):
+        sweep = run_delay_sweep(scale=args.scale)
+        result = func(sweep=sweep)
+    elif name == "tab3":
+        result = func()
+    else:
+        result = func(scale=args.scale)
+    print(result.render())
+    print(f"\n[{name} regenerated in {time.time() - start:.1f}s]")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    bows: object = None
+    if args.bows == "adaptive":
+        bows = True
+    elif args.bows is not None:
+        bows = int(args.bows)
+    config = make_config(
+        args.scheduler,
+        bows=bows,
+        ddos=None if not args.no_ddos else False,
+        preset=args.preset,
+    )
+    params = _parse_params(args.param)
+    workload = build_workload(args.kernel, **params)
+    start = time.time()
+    result = run_workload(workload, config)
+    elapsed = time.time() - start
+    stats = result.stats
+    print(f"kernel {args.kernel}: {result.cycles} cycles "
+          f"({elapsed:.1f}s wall)")
+    for key, value in stats.summary().items():
+        print(f"  {key:28s}{value}")
+    if result.ddos_engines:
+        print(f"  detected SIBs: {sorted(result.predicted_sibs())} "
+              f"(truth: {sorted(workload.launch.program.true_sibs())})")
+    print("  validation: OK")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BOWS/DDOS reproduction (HPCA 2018) — cycle-level "
+                    "SIMT GPU simulation harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and kernels")
+
+    exp = sub.add_parser("experiment", help="regenerate a paper artifact")
+    exp.add_argument("name", help="fig1..fig16 / tab1 / tab3")
+    exp.add_argument("--scale", choices=("full", "quick"), default="full")
+
+    run = sub.add_parser("run", help="simulate one kernel")
+    run.add_argument("kernel", choices=kernel_names())
+    run.add_argument("--scheduler", choices=("lrr", "gto", "cawa"),
+                     default="gto")
+    run.add_argument("--bows", default=None,
+                     help="'adaptive' or a fixed delay limit in cycles")
+    run.add_argument("--no-ddos", action="store_true",
+                     help="use static !sib annotations instead of DDOS")
+    run.add_argument("--preset", choices=("fermi", "pascal"),
+                     default="fermi")
+    run.add_argument("--param", action="append", default=[],
+                     metavar="NAME=VALUE",
+                     help="workload parameter override (repeatable)")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    raise SystemExit(2)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""The paper's contributions: DDOS spin detection and BOWS scheduling.
+
+* :mod:`repro.core.ddos` — Dynamic Detection Of Spinning (Section IV):
+  per-warp path/value history registers and the shared spin-inducing-
+  branch prediction table (SIB-PT).
+* :mod:`repro.core.bows` — Back-Off Warp Spinning (Section III): the
+  backed-off queue and pending back-off delay that deprioritize and
+  throttle spinning warps.
+* :mod:`repro.core.adaptive` — the adaptive back-off delay-limit
+  controller (Figure 5).
+* :mod:`repro.core.cawa` — the CAWA criticality-aware baseline scheduler
+  the paper compares against.
+* :mod:`repro.core.cost` — the Table III hardware storage-cost model.
+"""
+
+from repro.core.adaptive import AdaptiveDelayController
+from repro.core.bows import BOWSUnit
+from repro.core.cost import hardware_cost
+from repro.core.ddos import DDOSEngine, hash_modulo, hash_xor
+
+__all__ = [
+    "AdaptiveDelayController",
+    "BOWSUnit",
+    "DDOSEngine",
+    "hardware_cost",
+    "hash_modulo",
+    "hash_xor",
+]

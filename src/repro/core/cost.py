@@ -1,0 +1,86 @@
+"""Hardware storage-cost model for DDOS and BOWS (paper Table III).
+
+Computes per-SM storage bits from the configuration, reproducing the
+paper's accounting:
+
+* SIB-PT: 16 entries × 35 bits = 560 bits;
+* history registers: 48 warps × 192 bits = 9216 bits
+  (per warp: ``l`` path hashes of ``m`` bits + ``2l`` value hashes of
+  ``k`` bits; with m=k=8, l=8 that is 64 + 128 = 192 bits);
+* pending delay counters: 48 warps × 14 bits (back-off delays to 10,000
+  cycles fit in 14 bits);
+* backed-off queue: 48 × 5-bit warp ids.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sim.config import DDOSConfig, GPUConfig
+
+#: SIB-PT entry: PC tag + confidence + prediction bit (paper: 35 bits).
+SIB_PT_ENTRY_BITS = 35
+
+
+@dataclass(frozen=True)
+class HardwareCost:
+    """Per-SM storage requirements in bits."""
+
+    sib_pt_bits: int
+    history_bits: int
+    pending_delay_bits: int
+    backed_off_queue_bits: int
+
+    @property
+    def ddos_bits(self) -> int:
+        return self.sib_pt_bits + self.history_bits
+
+    @property
+    def bows_bits(self) -> int:
+        return self.pending_delay_bits + self.backed_off_queue_bits
+
+    @property
+    def total_bits(self) -> int:
+        return self.ddos_bits + self.bows_bits
+
+    @property
+    def total_bytes(self) -> float:
+        return self.total_bits / 8
+
+
+def history_bits_per_warp(ddos: DDOSConfig) -> int:
+    """Path + value history register bits for one warp."""
+    path = ddos.history_length * ddos.path_bits
+    value = 2 * ddos.history_length * ddos.value_bits
+    return path + value
+
+
+def hardware_cost(config: GPUConfig,
+                  max_delay_cycles: int = 10_000,
+                  hw_warps_per_sm: int = 48) -> HardwareCost:
+    """Per-SM cost of DDOS + BOWS.
+
+    Args:
+        config: must carry a ``ddos`` configuration.
+        max_delay_cycles: largest supported back-off delay (sets the
+            pending-delay counter width; the paper budgets 14 bits for
+            10,000 cycles).
+        hw_warps_per_sm: hardware warp contexts budgeted per SM.  The
+            paper's GTX480 SM holds 48 warps; our scaled simulation runs
+            fewer, so the *hardware* budget is a parameter.
+    """
+    ddos = config.ddos or DDOSConfig()
+    sib_pt = ddos.sib_pt_entries * SIB_PT_ENTRY_BITS
+    n_history_sets = 1 if ddos.time_sharing else hw_warps_per_sm
+    history = n_history_sets * history_bits_per_warp(ddos)
+    delay_bits = max(math.ceil(math.log2(max_delay_cycles + 1)), 1)
+    pending = hw_warps_per_sm * delay_bits
+    queue_id_bits = max(math.ceil(math.log2(hw_warps_per_sm)), 1)
+    queue = hw_warps_per_sm * queue_id_bits
+    return HardwareCost(
+        sib_pt_bits=sib_pt,
+        history_bits=history,
+        pending_delay_bits=pending,
+        backed_off_queue_bits=queue,
+    )

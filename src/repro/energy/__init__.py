@@ -1,0 +1,5 @@
+"""GPUWattch-style dynamic-energy accounting."""
+
+from repro.energy.model import EnergyModel, EnergyBreakdown
+
+__all__ = ["EnergyBreakdown", "EnergyModel"]

@@ -1,0 +1,86 @@
+"""Per-event dynamic-energy model (GPUWattch substitute).
+
+The paper reports *normalized dynamic energy* (Figures 9b, 15b), which is
+a ratio of event-count-weighted sums; absolute joules cancel out.  We
+charge McPAT-flavoured per-event energies:
+
+* front-end cost per issued warp instruction (fetch/decode/issue/
+  scheduler arbitration);
+* execution cost per active lane (ALU plus operand-collector register
+  accesses — spin iterations burn this even though their results are
+  discarded);
+* memory costs per transaction at each level (L1/L2/DRAM) and per atomic
+  operation;
+* a small per-cycle "active core" charge (clock tree and pipeline
+  registers), so pure stalling is cheap but not free.
+
+Constants are in picojoules, in the relative proportions GPUWattch
+reports for Fermi-class hardware; only ratios matter for the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.stats import SimStats
+
+
+@dataclass(frozen=True)
+class EnergyCosts:
+    """Per-event dynamic energies (picojoules)."""
+
+    warp_instruction_pj: float = 60.0    # fetch/decode/issue, per warp instr
+    lane_op_pj: float = 9.0              # ALU + RF, per active lane
+    l1_access_pj: float = 150.0          # per L1 transaction
+    l2_access_pj: float = 300.0          # per L2 transaction
+    dram_access_pj: float = 2000.0       # per DRAM burst
+    atomic_op_pj: float = 400.0          # per atomic, on top of L2
+    active_cycle_pj: float = 25.0        # per SM-cycle clock/pipeline charge
+
+
+@dataclass
+class EnergyBreakdown:
+    """Dynamic energy by component (picojoules)."""
+
+    frontend_pj: float
+    execution_pj: float
+    memory_pj: float
+    clocking_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return (
+            self.frontend_pj
+            + self.execution_pj
+            + self.memory_pj
+            + self.clocking_pj
+        )
+
+
+class EnergyModel:
+    """Maps a run's event counters onto a dynamic-energy estimate."""
+
+    def __init__(self, costs: EnergyCosts = EnergyCosts(),
+                 num_sms: int = 1) -> None:
+        self.costs = costs
+        self.num_sms = num_sms
+
+    def evaluate(self, stats: SimStats) -> EnergyBreakdown:
+        costs = self.costs
+        mem = stats.memory
+        frontend = stats.warp_instructions * costs.warp_instruction_pj
+        execution = stats.thread_instructions * costs.lane_op_pj
+        l1_accesses = mem.l1_hits + mem.l1_misses
+        memory = (
+            l1_accesses * costs.l1_access_pj
+            + (mem.l2_hits + mem.l2_misses) * costs.l2_access_pj
+            + mem.dram_accesses * costs.dram_access_pj
+            + mem.atomic_transactions * costs.atomic_op_pj
+        )
+        clocking = stats.cycles * self.num_sms * costs.active_cycle_pj
+        return EnergyBreakdown(
+            frontend_pj=frontend,
+            execution_pj=execution,
+            memory_pj=memory,
+            clocking_pj=clocking,
+        )

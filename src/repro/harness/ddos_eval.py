@@ -1,0 +1,154 @@
+"""DDOS detection-accuracy evaluation (paper Table I metrics).
+
+Runs workloads under a given DDOS configuration and scores the SIB-PT
+predictions against the kernels' ground-truth ``!sib`` annotations:
+
+* **TSDR** (true spin detection rate): fraction of true spin-inducing
+  branches that were confirmed;
+* **FSDR** (false spin detection rate): fraction of non-spin-inducing
+  *backward* branches falsely confirmed;
+* **DPR** (detection phase ratio): (confirmation time - first encounter)
+  / (last encounter - first encounter), averaged over the detected
+  branches of the respective class — lower means faster detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.harness.runner import make_config, run_workload
+from repro.kernels import build as build_workload
+from repro.sim.config import DDOSConfig, GPUConfig
+from repro.sim.gpu import SimResult
+
+
+@dataclass
+class DetectionOutcome:
+    """Per-kernel detection scoring."""
+
+    kernel: str
+    true_sibs: int
+    detected_true: int
+    false_candidates: int
+    detected_false: int
+    true_dprs: List[float] = field(default_factory=list)
+    false_dprs: List[float] = field(default_factory=list)
+
+    @property
+    def tsdr(self) -> Optional[float]:
+        if self.true_sibs == 0:
+            return None
+        return self.detected_true / self.true_sibs
+
+    @property
+    def fsdr(self) -> Optional[float]:
+        if self.false_candidates == 0:
+            return None
+        return self.detected_false / self.false_candidates
+
+
+def score_result(kernel: str, result: SimResult) -> DetectionOutcome:
+    """Score one simulation's DDOS predictions against ground truth.
+
+    A branch counts as detected if *any* SM's DDOS engine confirmed it.
+    Candidate set for false detections = all backward branches executed
+    that are not annotated ``!sib``.
+    """
+    program = result.launch.program
+    truth = program.true_sibs()
+
+    confirmed: Dict[int, Tuple[int, int, int]] = {}
+    seen: Dict[int, Tuple[int, int]] = {}
+    for engine in result.ddos_engines:
+        for index, record in engine.detection_records().items():
+            first, last = record.first_seen, record.last_seen
+            if index in seen:
+                first = min(first, seen[index][0])
+                last = max(last, seen[index][1])
+            seen[index] = (first, last)
+            if record.confirmed_at is not None:
+                if (
+                    index not in confirmed
+                    or record.confirmed_at < confirmed[index][0]
+                ):
+                    confirmed[index] = (record.confirmed_at, first, last)
+
+    outcome = DetectionOutcome(
+        kernel=kernel,
+        true_sibs=len(truth),
+        detected_true=0,
+        false_candidates=0,
+        detected_false=0,
+    )
+    for index, (first, last) in seen.items():
+        is_true = index in truth
+        detected = index in confirmed
+        if is_true:
+            if detected:
+                outcome.detected_true += 1
+        else:
+            outcome.false_candidates += 1
+            if detected:
+                outcome.detected_false += 1
+        if detected:
+            confirmed_at = confirmed[index][0]
+            span = max(last - first, 1)
+            dpr = max(confirmed_at - first, 0) / span
+            (outcome.true_dprs if is_true else outcome.false_dprs).append(dpr)
+    return outcome
+
+
+@dataclass
+class AccuracySummary:
+    """Aggregate Table I row."""
+
+    avg_tsdr: float
+    avg_true_dpr: float
+    avg_fsdr: float
+    avg_false_dpr: float
+    outcomes: List[DetectionOutcome]
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "TSDR": round(self.avg_tsdr, 3),
+            "DPR(true)": round(self.avg_true_dpr, 3),
+            "FSDR": round(self.avg_fsdr, 3),
+            "DPR(false)": round(self.avg_false_dpr, 3),
+        }
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def summarize(outcomes: Iterable[DetectionOutcome]) -> AccuracySummary:
+    outcomes = list(outcomes)
+    tsdrs = [o.tsdr for o in outcomes if o.tsdr is not None]
+    fsdrs = [o.fsdr for o in outcomes if o.fsdr is not None]
+    true_dprs = [d for o in outcomes for d in o.true_dprs]
+    false_dprs = [d for o in outcomes for d in o.false_dprs]
+    return AccuracySummary(
+        avg_tsdr=_mean(tsdrs),
+        avg_true_dpr=_mean(true_dprs),
+        avg_fsdr=_mean(fsdrs),
+        avg_false_dpr=_mean(false_dprs),
+        outcomes=outcomes,
+    )
+
+
+def evaluate_ddos(
+    ddos: DDOSConfig,
+    kernels: Sequence[str],
+    kernel_params: Optional[Dict[str, Dict]] = None,
+    base_config: Optional[GPUConfig] = None,
+) -> AccuracySummary:
+    """Run ``kernels`` with DDOS enabled (no BOWS) and score detections."""
+    kernel_params = kernel_params or {}
+    outcomes = []
+    for name in kernels:
+        config = (base_config or make_config("gto")).replace(ddos=ddos)
+        workload = build_workload(name, **kernel_params.get(name, {}))
+        result = run_workload(workload, config)
+        outcomes.append(score_result(name, result))
+    return summarize(outcomes)

@@ -1,0 +1,60 @@
+"""Plain-text table rendering for experiment output.
+
+Every experiment returns rows as dictionaries; these helpers render them
+the way the paper's figures/tables read (kernels as columns or rows,
+normalized values, geometric means).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; ignores non-positive values defensively."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render dict-rows as an aligned text table."""
+    if not rows:
+        return (title + "\n(no rows)") if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    rendered = [[cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered))
+        for i, col in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def print_table(rows: Sequence[Dict[str, object]],
+                columns: Optional[Sequence[str]] = None,
+                title: Optional[str] = None,
+                float_fmt: str = "{:.3f}") -> None:
+    print(format_table(rows, columns, title, float_fmt))
+    print()

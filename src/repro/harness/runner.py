@@ -1,0 +1,93 @@
+"""Configuration shorthand and one-call workload execution.
+
+``make_config`` builds a :class:`~repro.sim.config.GPUConfig` from the
+vocabulary the paper uses — a base policy (``lrr``/``gto``/``cawa``),
+optionally "+BOWS" with a fixed or adaptive delay limit, and optionally
+DDOS (on by default whenever BOWS is on, as in the paper's evaluation).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.kernels import build as build_workload
+from repro.kernels.base import Workload
+from repro.sim.config import BOWSConfig, DDOSConfig, GPUConfig
+from repro.sim.config import fermi_config, pascal_config
+from repro.sim.gpu import GPU, SimResult
+
+_PRESETS = {"fermi": fermi_config, "pascal": pascal_config}
+
+
+def make_config(
+    scheduler: str = "gto",
+    bows: Union[bool, int, str, BOWSConfig, None] = None,
+    ddos: Union[bool, DDOSConfig, None] = None,
+    preset: str = "fermi",
+    **overrides,
+) -> GPUConfig:
+    """Build a GPU configuration.
+
+    Args:
+        scheduler: base policy — ``lrr``, ``gto``, or ``cawa``.
+        bows: enable BOWS.  ``True`` → adaptive delay limit (the paper's
+            default); an integer → fixed delay limit in cycles;
+            ``"adaptive"`` → adaptive; a :class:`BOWSConfig` → verbatim.
+        ddos: enable DDOS.  Defaults to on whenever BOWS is on (SIBs are
+            then detected dynamically); pass ``False`` with BOWS on to
+            fall back to static ``!sib`` annotations ("programmer
+            annotation" mode).
+        preset: ``fermi`` (GTX480-shaped) or ``pascal`` (GTX1080Ti-shaped).
+        overrides: any :class:`GPUConfig` field, e.g. ``num_sms=1``.
+    """
+    if preset not in _PRESETS:
+        raise ValueError(f"unknown preset {preset!r}; use {sorted(_PRESETS)}")
+
+    bows_config: Optional[BOWSConfig]
+    if bows is None or bows is False:
+        bows_config = None
+    elif isinstance(bows, BOWSConfig):
+        bows_config = bows
+    elif bows is True or bows == "adaptive":
+        bows_config = BOWSConfig(adaptive=True)
+    elif isinstance(bows, int):
+        bows_config = BOWSConfig(delay_limit=bows, adaptive=False)
+    else:
+        raise TypeError(f"cannot interpret bows={bows!r}")
+
+    ddos_config: Optional[DDOSConfig]
+    if ddos is None:
+        ddos_config = DDOSConfig() if bows_config is not None else None
+    elif ddos is False:
+        ddos_config = None
+    elif ddos is True:
+        ddos_config = DDOSConfig()
+    elif isinstance(ddos, DDOSConfig):
+        ddos_config = ddos
+    else:
+        raise TypeError(f"cannot interpret ddos={ddos!r}")
+
+    return _PRESETS[preset](
+        scheduler=scheduler, bows=bows_config, ddos=ddos_config, **overrides
+    )
+
+
+def run_workload(workload: Workload, config: GPUConfig,
+                 validate: bool = True) -> SimResult:
+    """Simulate ``workload`` under ``config`` (validating the result)."""
+    gpu = GPU(config, memory=workload.memory)
+    result = gpu.launch(workload.launch)
+    if validate and not config.magic_locks:
+        workload.validate(result.memory)
+    return result
+
+
+def run_kernel(name: str, config: GPUConfig, validate: bool = True,
+               **params) -> SimResult:
+    """Build the named workload fresh and simulate it under ``config``.
+
+    A workload's memory image is mutated by execution, so every run gets
+    a fresh build — never reuse a :class:`Workload` across runs.
+    """
+    workload = build_workload(name, **params)
+    return run_workload(workload, config, validate=validate)

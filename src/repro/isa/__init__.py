@@ -1,0 +1,34 @@
+"""PTX-like instruction set: operand/instruction model, assembler, program CFG.
+
+The simulator executes a small virtual ISA modeled on NVIDIA PTX (the
+paper's Figure 7 listings are PTX).  Kernels are authored either as
+assembly text (:func:`repro.isa.assemble`) or through the builder DSL in
+:mod:`repro.kernels.builder`.
+"""
+
+from repro.isa.instructions import (
+    Imm,
+    Instruction,
+    Mem,
+    Opcode,
+    Param,
+    Pred,
+    Reg,
+    Sreg,
+)
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.program import Program
+
+__all__ = [
+    "AssemblyError",
+    "Imm",
+    "Instruction",
+    "Mem",
+    "Opcode",
+    "Param",
+    "Pred",
+    "Program",
+    "Reg",
+    "Sreg",
+    "assemble",
+]

@@ -1,0 +1,297 @@
+"""Operand and instruction model for the PTX-like virtual ISA.
+
+Design notes
+------------
+Instructions are indexed by position in the program; the *byte* address of
+instruction ``i`` is ``i * INSTRUCTION_SIZE`` to mirror the fixed 8-byte
+encoding assumed by the paper's DDOS hashing scheme
+(``(PC - PC_kernel_start) / Instruction_Size``).
+
+Operands:
+
+* :class:`Reg` — a 32-bit general-purpose register, one value per lane.
+* :class:`Pred` — a 1-bit predicate register, one value per lane.
+* :class:`Imm` — an integer immediate.
+* :class:`Sreg` — a read-only special register (``%tid``, ``%ctaid`` ...).
+* :class:`Param` — a kernel parameter, read with ``ld.param``.
+* :class:`Mem` — a ``[base + offset]`` memory operand.
+
+The ``role`` annotation attaches workload-semantics metadata used only by
+the metrics layer (e.g. which ``atom.cas`` is a lock acquire) and the DDOS
+ground truth (which backward branch is a true spin-inducing branch).  The
+simulated hardware never reads ``role`` except in the DDOS *evaluation*
+code that scores detection accuracy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+#: Bytes per encoded instruction; only used to derive PC byte addresses.
+INSTRUCTION_SIZE = 8
+
+
+class Opcode(enum.Enum):
+    """Every opcode the simulator understands."""
+
+    # Data movement / arithmetic (vector ALU, per-lane).
+    MOV = "mov"
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    MAD = "mad"
+    DIV = "div"
+    REM = "rem"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    SHL = "shl"
+    SHR = "shr"
+    MIN = "min"
+    MAX = "max"
+    SELP = "selp"
+    # Predicate-setting compare.
+    SETP = "setp"
+    # Control flow.
+    BRA = "bra"
+    EXIT = "exit"
+    # Memory.
+    LD_GLOBAL = "ld.global"
+    LD_GLOBAL_CG = "ld.global.cg"  # bypasses L1 (volatile / cache-global)
+    ST_GLOBAL = "st.global"
+    LD_PARAM = "ld.param"
+    ATOM_CAS = "atom.cas"
+    ATOM_EXCH = "atom.exch"
+    ATOM_ADD = "atom.add"
+    ATOM_MIN = "atom.min"
+    ATOM_MAX = "atom.max"
+    # Synchronization / misc.
+    BAR_SYNC = "bar.sync"
+    MEMBAR = "membar"
+    CLOCK = "clock"
+    NOP = "nop"
+
+
+#: Comparison operators accepted as a ``setp`` suffix.
+CMP_OPS = ("eq", "ne", "lt", "le", "gt", "ge")
+
+#: Special register names (without the leading ``%``).
+SPECIAL_REGISTERS = (
+    "tid",       # thread index within the CTA
+    "ntid",      # CTA size (threads per CTA)
+    "ctaid",     # CTA index within the grid
+    "nctaid",    # number of CTAs in the grid
+    "laneid",    # lane index within the warp
+    "warpid",    # warp index within the SM
+    "gtid",      # convenience: global thread id = ctaid * ntid + tid
+)
+
+ATOMIC_OPCODES = frozenset(
+    {
+        Opcode.ATOM_CAS,
+        Opcode.ATOM_EXCH,
+        Opcode.ATOM_ADD,
+        Opcode.ATOM_MIN,
+        Opcode.ATOM_MAX,
+    }
+)
+
+MEMORY_OPCODES = frozenset(
+    {Opcode.LD_GLOBAL, Opcode.LD_GLOBAL_CG, Opcode.ST_GLOBAL} | ATOMIC_OPCODES
+)
+
+ALU_OPCODES = frozenset(
+    {
+        Opcode.MOV,
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.MAD,
+        Opcode.DIV,
+        Opcode.REM,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.NOT,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.MIN,
+        Opcode.MAX,
+        Opcode.SELP,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A general-purpose vector register, e.g. ``%r5``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True)
+class Pred:
+    """A predicate register, e.g. ``%p2``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An integer immediate."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Sreg:
+    """A read-only special register, e.g. ``%tid``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in SPECIAL_REGISTERS:
+            raise ValueError(f"unknown special register %{self.name}")
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True)
+class Param:
+    """A kernel parameter reference, used by ``ld.param``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"[{self.name}]"
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A ``[base + offset]`` memory operand; ``base`` is a register."""
+
+    base: Reg
+    offset: int = 0
+
+    def __str__(self) -> str:
+        if self.offset:
+            return f"[{self.base}+{self.offset}]"
+        return f"[{self.base}]"
+
+
+Operand = Union[Reg, Pred, Imm, Sreg, Param, Mem]
+
+
+@dataclass
+class Instruction:
+    """A single decoded instruction.
+
+    Attributes:
+        opcode: the operation.
+        cmp: comparison suffix for ``setp`` (``eq``/``ne``/...).
+        dst: destination operand (``Reg`` or ``Pred``), if any.
+        srcs: source operands in encoding order.
+        guard: optional guard predicate (``@%p`` / ``@!%p bra`` ...).
+        guard_negated: whether the guard is ``@!%p``.
+        target: branch target label (resolved to an index by the assembler).
+        target_index: resolved instruction index of ``target``.
+        index: position of the instruction in the program.
+        label: label attached to this instruction, if any.
+        role: workload-semantics annotation (``lock_try``, ``lock_release``,
+            ``wait_branch``, ``sib``, ``useful`` ...), see module docstring.
+    """
+
+    opcode: Opcode
+    cmp: Optional[str] = None
+    dst: Optional[Operand] = None
+    srcs: Tuple[Operand, ...] = ()
+    guard: Optional[Pred] = None
+    guard_negated: bool = False
+    target: Optional[str] = None
+    target_index: Optional[int] = None
+    index: int = -1
+    label: Optional[str] = None
+    roles: Tuple[str, ...] = field(default_factory=tuple)
+    #: Scoreboard keys, precomputed by Program (``r:name`` / ``p:name``).
+    hazard_keys: Tuple[str, ...] = ()
+    #: Scoreboard key of the destination, precomputed by Program.
+    dst_key: Optional[str] = None
+
+    @property
+    def address(self) -> int:
+        """Byte address of this instruction (fixed 8-byte encoding)."""
+        return self.index * INSTRUCTION_SIZE
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opcode is Opcode.BRA
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        return self.opcode is Opcode.BRA and self.guard is not None
+
+    @property
+    def is_backward_branch(self) -> bool:
+        return (
+            self.opcode is Opcode.BRA
+            and self.target_index is not None
+            and self.target_index <= self.index
+        )
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opcode in MEMORY_OPCODES
+
+    @property
+    def is_atomic(self) -> bool:
+        return self.opcode in ATOMIC_OPCODES
+
+    @property
+    def is_setp(self) -> bool:
+        return self.opcode is Opcode.SETP
+
+    def has_role(self, role: str) -> bool:
+        return role in self.roles
+
+    def read_operands(self) -> Tuple[Operand, ...]:
+        """All operands read by this instruction (guard excluded)."""
+        reads = list(self.srcs)
+        if self.opcode is Opcode.ST_GLOBAL and self.dst is not None:
+            # Stores keep the memory operand in ``dst`` but read its base.
+            reads.append(self.dst)
+        return tuple(reads)
+
+    def __str__(self) -> str:
+        parts = []
+        if self.guard is not None:
+            neg = "!" if self.guard_negated else ""
+            parts.append(f"@{neg}{self.guard}")
+        op = self.opcode.value
+        if self.cmp:
+            op = f"{op}.{self.cmp}"
+        parts.append(op)
+        operand_strs = []
+        if self.dst is not None:
+            operand_strs.append(str(self.dst))
+        operand_strs.extend(str(s) for s in self.srcs)
+        if self.target is not None:
+            operand_strs.append(self.target)
+        text = " ".join(parts)
+        if operand_strs:
+            text += " " + ", ".join(operand_strs)
+        for role in self.roles:
+            text += f" !{role}"
+        return text

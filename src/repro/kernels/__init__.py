@@ -1,0 +1,83 @@
+"""Workload kernels written in the PTX-like ISA.
+
+Synchronization kernels (paper Section V):
+
+======  =============================================================
+name    pattern
+======  =============================================================
+ht      chained hashtable insertion, one lock per bucket (Figure 1a)
+atm     bank transfers, two nested locks per transaction (Figure 6a)
+tsp     lane-serialized global lock around a min-update (Figure 6b)
+nw1     lock-protected wavefront, top-left to bottom-right
+nw2     lock-protected wavefront, opposite traversal
+tb      BarnesHut tree building: per-cell locks + throttling barrier
+st      BarnesHut sort: wait-and-signal down a tree (Figure 6c)
+ds      cloth distance solver: nested per-particle locks
+======  =============================================================
+
+Synchronization-free kernels (Rodinia stand-ins for DDOS accuracy and
+Figure 14): ``kmeans``, ``ms`` (merge-sort-style, power-of-two stride —
+the MODULO-hash false-detection trigger), ``hl`` (heart-wall-style),
+``vecadd``, ``reduction``, ``stencil``, ``histogram``.
+"""
+
+from repro.kernels.base import Workload, WorkloadError
+from repro.kernels.hashtable import build_hashtable, build_hashtable_backoff
+from repro.kernels.atm import build_atm
+from repro.kernels.tsp import build_tsp
+from repro.kernels.nw import build_nw
+from repro.kernels.barneshut import build_st, build_tb
+from repro.kernels.cloth import build_ds
+from repro.kernels import rodinia
+
+#: Synchronization kernels in the paper's Figure 2/9 order.
+SYNC_KERNELS = ("tb", "st", "ds", "atm", "ht", "tsp", "nw1", "nw2")
+
+#: Synchronization-free kernels (Rodinia stand-ins).
+SYNC_FREE_KERNELS = (
+    "kmeans", "ms", "hl", "vecadd", "reduction", "stencil", "histogram",
+)
+
+_BUILDERS = {
+    "ht": build_hashtable,
+    "ht_backoff": build_hashtable_backoff,
+    "atm": build_atm,
+    "tsp": build_tsp,
+    "nw1": lambda **kw: build_nw(direction=1, **kw),
+    "nw2": lambda **kw: build_nw(direction=2, **kw),
+    "tb": build_tb,
+    "st": build_st,
+    "ds": build_ds,
+    "kmeans": rodinia.build_kmeans,
+    "ms": rodinia.build_mergesort,
+    "hl": rodinia.build_heartwall,
+    "vecadd": rodinia.build_vecadd,
+    "reduction": rodinia.build_reduction,
+    "stencil": rodinia.build_stencil,
+    "histogram": rodinia.build_histogram,
+}
+
+
+def kernel_names():
+    return sorted(_BUILDERS)
+
+
+def build(name: str, **params) -> Workload:
+    """Build a named workload with the given parameters."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; choose from {kernel_names()}"
+        ) from None
+    return builder(**params)
+
+
+__all__ = [
+    "SYNC_FREE_KERNELS",
+    "SYNC_KERNELS",
+    "Workload",
+    "WorkloadError",
+    "build",
+    "kernel_names",
+]

@@ -1,0 +1,156 @@
+"""ATM — bank transfers guarded by two nested spin locks (Figure 6a).
+
+Each thread performs ``rounds`` transfers of one unit between two
+pseudo-randomly chosen accounts.  A transfer acquires the source-account
+lock, then the destination-account lock; if the inner acquire fails the
+outer lock is *released* before retrying — the paper's deadlock-free
+nested-locking pattern for SIMT machines.
+
+Invariant checked after the run: the total balance is conserved and
+every account's delta matches the transfer ledger (mutual exclusion
+witness for read-modify-write sections under two locks).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.isa import assemble
+from repro.kernels.base import Workload, grid_geometry, require
+from repro.memory.memsys import GlobalMemory
+from repro.sim.gpu import KernelLaunch
+
+_SOURCE = r"""
+    ld.param %r_locks, [locks]
+    ld.param %r_accounts, [accounts]
+    ld.param %r_src_tbl, [src_table]
+    ld.param %r_dst_tbl, [dst_table]
+    ld.param %r_rounds, [rounds]
+    mov %r_round, 0
+ROUND_LOOP:
+    // transaction index = gtid * rounds + round
+    mul %r_tx, %gtid, %r_rounds
+    add %r_tx, %r_tx, %r_round
+    shl %r_t0, %r_tx, 2
+    add %r_t1, %r_src_tbl, %r_t0
+    ld.global %r_src, [%r_t1]
+    add %r_t1, %r_dst_tbl, %r_t0
+    ld.global %r_dst, [%r_t1]
+    // Balance addresses follow the transfer direction; lock acquisition
+    // is ordered by account id (outer = lower id) so that no global
+    // hold-and-wait cycle can form.  Without the ordering, two lanes of
+    // one warp wanting (a,b) and (b,a) retry in lockstep forever — a
+    // deterministic livelock on SIMT hardware.
+    shl %r_t2, %r_src, 2
+    add %r_bal1, %r_accounts, %r_t2
+    shl %r_t3, %r_dst, 2
+    add %r_bal2, %r_accounts, %r_t3
+    min %r_lo, %r_src, %r_dst
+    max %r_hi, %r_src, %r_dst
+    shl %r_t2, %r_lo, 2
+    add %r_lock1, %r_locks, %r_t2
+    shl %r_t3, %r_hi, 2
+    add %r_lock2, %r_locks, %r_t3
+    mov %r_done, 0
+SPIN:
+    atom.cas %r_o1, [%r_lock1], 0, 1 !lock_try !sync
+    setp.eq %p1, %r_o1, 0 !sync
+    @%p1 bra TRY2 !sync
+    bra JOIN !sync
+TRY2:
+    atom.cas %r_o2, [%r_lock2], 0, 1 !lock_try !sync
+    setp.eq %p2, %r_o2, 0 !sync
+    @%p2 bra CRIT !sync
+    // inner acquire failed: release the outer lock and retry
+    atom.exch %r_ig, [%r_lock1], 0 !lock_release !sync
+    bra JOIN !sync
+CRIT:
+    // --- critical section: move one unit from src to dst ---
+    ld.global.cg %r_b1, [%r_bal1]
+    ld.global.cg %r_b2, [%r_bal2]
+    sub %r_b1, %r_b1, 1
+    add %r_b2, %r_b2, 1
+    st.global [%r_bal1], %r_b1
+    st.global [%r_bal2], %r_b2
+    membar !sync
+    atom.exch %r_ig, [%r_lock2], 0 !lock_release !sync
+    atom.exch %r_ig, [%r_lock1], 0 !lock_release !sync
+    mov %r_done, 1
+JOIN:
+    setp.eq %p3, %r_done, 0 !sync
+    @%p3 bra SPIN !sib !sync
+    add %r_round, %r_round, 1
+    setp.lt %p4, %r_round, %r_rounds
+    @%p4 bra ROUND_LOOP
+    exit
+"""
+
+
+def build_atm(
+    n_threads: int = 512,
+    n_accounts: int = 128,
+    rounds: int = 2,
+    initial_balance: int = 1000,
+    block_dim: int = 256,
+    seed: int = 11,
+    memory: Optional[GlobalMemory] = None,
+) -> Workload:
+    """Nested-lock bank transfers (paper's ATM benchmark, Figure 6a)."""
+    grid_dim, block_dim = grid_geometry(n_threads, block_dim)
+    n_tx = n_threads * rounds
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n_accounts, size=n_tx, dtype=np.int64)
+    offset = rng.integers(1, n_accounts, size=n_tx, dtype=np.int64)
+    dst = (src + offset) % n_accounts  # distinct from src by construction
+
+    if memory is None:
+        memory = GlobalMemory(max(1 << 18, 8 * n_tx + 2 * n_accounts + 4096))
+    locks = memory.alloc(n_accounts)
+    accounts = memory.alloc(n_accounts)
+    src_table = memory.alloc(n_tx)
+    dst_table = memory.alloc(n_tx)
+    memory.store_array(accounts, [initial_balance] * n_accounts)
+    memory.store_array(src_table, src.tolist())
+    memory.store_array(dst_table, dst.tolist())
+
+    program = assemble(_SOURCE, name="atm")
+    params = {
+        "locks": locks,
+        "accounts": accounts,
+        "src_table": src_table,
+        "dst_table": dst_table,
+        "rounds": rounds,
+    }
+
+    expected = np.full(n_accounts, initial_balance, dtype=np.int64)
+    np.subtract.at(expected, src, 1)
+    np.add.at(expected, dst, 1)
+
+    def validate(mem: GlobalMemory) -> None:
+        balances = mem.load_array(accounts, n_accounts)
+        require(
+            int(balances.sum()) == initial_balance * n_accounts,
+            "total balance not conserved (lost update under nested locks)",
+        )
+        mismatches = int((balances != expected).sum())
+        require(
+            mismatches == 0,
+            f"{mismatches} account balances diverge from the ledger",
+        )
+        lock_words = mem.load_array(locks, n_accounts)
+        require(int(lock_words.sum()) == 0, "a lock was left held")
+
+    return Workload(
+        name="atm",
+        launch=KernelLaunch(program, grid_dim, block_dim, params),
+        memory=memory,
+        validate=validate,
+        meta={
+            "n_threads": n_threads,
+            "n_accounts": n_accounts,
+            "rounds": rounds,
+            "n_transactions": n_tx,
+        },
+    )

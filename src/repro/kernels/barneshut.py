@@ -1,0 +1,249 @@
+"""BarnesHut kernels: TB (tree building) and ST (sort) patterns.
+
+**TB** — lock-based insertion into tree cells, throttled by a CTA-wide
+barrier between insertion rounds.  The paper notes TB is hand-optimized
+to reduce contention this way, which is why BOWS has minimal impact on it
+(Section VI): the barrier already keeps most warps out of the lock
+competition, and blocked warps consume no issue slots.
+
+**ST** — wait-and-signal propagation down a binary tree (Figure 6c): a
+thread polls ``start_d[k]`` until the parent's processing makes it
+non-negative, then writes its sort output and signals its children.
+Crucially the poll and the work share one loop whose body is predicated
+on readiness — the loop reconverges every iteration, so producer lanes
+keep running even when consumer lanes of the same warp are still waiting
+(this is how the real BarnesHut code avoids SIMT-induced deadlock).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.isa import assemble
+from repro.kernels.base import Workload, grid_geometry, require
+from repro.memory.memsys import GlobalMemory
+from repro.sim.gpu import KernelLaunch
+
+_TB_SOURCE = r"""
+    ld.param %r_locks, [locks]
+    ld.param %r_cnt, [counts]
+    ld.param %r_slots, [slots]
+    ld.param %r_bodies, [bodies]
+    ld.param %r_ncells, [n_cells]
+    ld.param %r_cap, [cap]
+    ld.param %r_ipt, [items_per_thread]
+    mov %r_it, 0
+ROUND:
+    // Throttle: all warps of the CTA re-align before the next wave of
+    // lock acquisitions (the paper's TB-specific optimization).
+    bar.sync
+    mul %r_idx, %gtid, %r_ipt
+    add %r_idx, %r_idx, %r_it
+    shl %r_t0, %r_idx, 2
+    add %r_t0, %r_bodies, %r_t0
+    ld.global %r_body, [%r_t0]
+    rem %r_cell, %r_body, %r_ncells
+    shl %r_t1, %r_cell, 2
+    add %r_lock, %r_locks, %r_t1
+    add %r_cntp, %r_cnt, %r_t1
+    mov %r_done, 0
+SPIN:
+    atom.cas %r_old, [%r_lock], 0, 1 !lock_try !sync
+    setp.eq %p1, %r_old, 0 !sync
+    @%p1 bra CRIT !sync
+    bra JOIN !sync
+CRIT:
+    // --- critical section: append this body to the cell ---
+    ld.global.cg %r_c, [%r_cntp]
+    mul %r_t2, %r_cell, %r_cap
+    add %r_t2, %r_t2, %r_c
+    shl %r_t2, %r_t2, 2
+    add %r_t2, %r_slots, %r_t2
+    st.global [%r_t2], %r_idx
+    add %r_c, %r_c, 1
+    st.global [%r_cntp], %r_c
+    mov %r_done, 1
+    membar !sync
+    atom.exch %r_ig, [%r_lock], 0 !lock_release !sync
+JOIN:
+    setp.eq %p2, %r_done, 0 !sync
+    @%p2 bra SPIN !sib !sync
+    add %r_it, %r_it, 1
+    setp.lt %p3, %r_it, %r_ipt
+    @%p3 bra ROUND
+    exit
+"""
+
+_ST_TEMPLATE = r"""
+    ld.param %r_startd, [startd]
+    ld.param %r_sortd, [sortd]
+    ld.param %r_ncells, [n_cells]
+    ld.param %r_T, [n_threads]
+    mov %r_k, %gtid
+LOOP:
+    setp.ge %p1, %r_k, %r_ncells
+    @%p1 bra DONE
+    shl %r_t0, %r_k, 2
+    add %r_sa, %r_startd, %r_t0
+    ld.global.cg %r_start, [%r_sa] !sync
+    setp.lt %p2, %r_start, 0 !sync
+    @%p2 bra CONT !wait_branch !sync
+    // --- ready: place the cell's bodies (sort work), then signal ---
+    // The sort work is straight-line, as in the real BarnesHut kernel
+    // (an inner loop here would hand DDOS a non-spin backward branch
+    // executed by warps whose profiled thread is still waiting).
+    mov %r_h, %r_k
+{WORK}
+    add %r_so, %r_sortd, %r_t0
+    st.global [%r_so], %r_start
+    shl %r_c1, %r_k, 1
+    add %r_c1, %r_c1, 1
+    setp.ge %p3, %r_c1, %r_ncells
+    @%p3 bra NOKIDS
+    add %r_sv, %r_start, 1
+    shl %r_t1, %r_c1, 2
+    add %r_t1, %r_startd, %r_t1
+    membar
+    st.global [%r_t1], %r_sv
+    add %r_c2, %r_c1, 1
+    setp.ge %p4, %r_c2, %r_ncells
+    @%p4 bra NOKIDS
+    add %r_t2, %r_t1, 4
+    st.global [%r_t2], %r_sv
+NOKIDS:
+    add %r_k, %r_k, %r_T
+CONT:
+    bra LOOP !sib !sync
+DONE:
+    exit
+"""
+
+
+def build_tb(
+    n_threads: int = 512,
+    n_cells: int = 64,
+    items_per_thread: int = 2,
+    block_dim: int = 256,
+    seed: int = 17,
+    memory: Optional[GlobalMemory] = None,
+) -> Workload:
+    """BarnesHut tree-building: per-cell locks + barrier throttling."""
+    grid_dim, block_dim = grid_geometry(n_threads, block_dim)
+    n_items = n_threads * items_per_thread
+    rng = np.random.default_rng(seed)
+    bodies = rng.integers(0, 1 << 20, size=n_items, dtype=np.int64)
+    cells_of = bodies % n_cells
+    counts = np.bincount(cells_of, minlength=n_cells)
+    cap = int(counts.max()) if n_items else 1
+
+    if memory is None:
+        memory = GlobalMemory(
+            max(1 << 18, n_items + n_cells * (cap + 2) + 4096)
+        )
+    locks = memory.alloc(n_cells)
+    counts_base = memory.alloc(n_cells)
+    slots = memory.alloc(n_cells * cap)
+    bodies_base = memory.alloc(n_items)
+    memory.store_array(bodies_base, bodies.tolist())
+    memory.store_array(slots, [-1] * (n_cells * cap))
+
+    program = assemble(_TB_SOURCE, name="tb")
+    params = {
+        "locks": locks,
+        "counts": counts_base,
+        "slots": slots,
+        "bodies": bodies_base,
+        "n_cells": n_cells,
+        "cap": cap,
+        "items_per_thread": items_per_thread,
+    }
+
+    def validate(mem: GlobalMemory) -> None:
+        got_counts = mem.load_array(counts_base, n_cells)
+        require(
+            (got_counts == counts).all(),
+            "cell occupancy diverges (lost insertion under the cell lock)",
+        )
+        slot_words = mem.load_array(slots, n_cells * cap)
+        for cell in range(n_cells):
+            expected = {
+                int(i) for i in np.nonzero(cells_of == cell)[0]
+            }
+            got = {
+                int(slot_words[cell * cap + s])
+                for s in range(int(counts[cell]))
+            }
+            require(
+                got == expected,
+                f"cell {cell} holds wrong bodies (duplicate ticket)",
+            )
+
+    return Workload(
+        name="tb",
+        launch=KernelLaunch(program, grid_dim, block_dim, params),
+        memory=memory,
+        validate=validate,
+        meta={
+            "n_threads": n_threads,
+            "n_cells": n_cells,
+            "items_per_thread": items_per_thread,
+        },
+    )
+
+
+def _st_source(cell_work: int) -> str:
+    work = "\n".join(
+        "    mad %r_h, %r_h, 5, 3\n    and %r_h, %r_h, 65535"
+        for _ in range(cell_work)
+    )
+    return _ST_TEMPLATE.replace("{WORK}", work)
+
+
+def build_st(
+    n_threads: int = 256,
+    n_cells: int = 1024,
+    cell_work: int = 12,
+    block_dim: int = 128,
+    memory: Optional[GlobalMemory] = None,
+) -> Workload:
+    """BarnesHut sort: wait-and-signal down a binary tree (Figure 6c)."""
+    grid_dim, block_dim = grid_geometry(n_threads, block_dim)
+
+    if memory is None:
+        memory = GlobalMemory(max(1 << 17, 2 * n_cells + 4096))
+    startd = memory.alloc(n_cells)
+    sortd = memory.alloc(n_cells)
+    memory.store_array(startd, [0] + [-1] * (n_cells - 1))
+    memory.store_array(sortd, [-1] * n_cells)
+
+    program = assemble(_st_source(cell_work), name="st")
+    params = {
+        "startd": startd,
+        "sortd": sortd,
+        "n_cells": n_cells,
+        "n_threads": n_threads,
+        "cell_work": cell_work,
+    }
+
+    depths = np.zeros(n_cells, dtype=np.int64)
+    for k in range(1, n_cells):
+        depths[k] = depths[(k - 1) // 2] + 1
+
+    def validate(mem: GlobalMemory) -> None:
+        got = mem.load_array(sortd, n_cells)
+        require(
+            (got == depths).all(),
+            "sort output wrong: a cell ran before its parent signaled",
+        )
+        starts = mem.load_array(startd, n_cells)
+        require((starts >= 0).all(), "a cell was never signaled")
+
+    return Workload(
+        name="st",
+        launch=KernelLaunch(program, grid_dim, block_dim, params),
+        memory=memory,
+        validate=validate,
+        meta={"n_threads": n_threads, "n_cells": n_cells},
+    )

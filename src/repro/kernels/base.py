@@ -1,0 +1,49 @@
+"""Workload container shared by all kernels.
+
+A :class:`Workload` couples a ready-to-run :class:`KernelLaunch` with the
+global-memory image it operates on and a ``validate`` callback that checks
+functional correctness after simulation (e.g. that every hashtable
+insertion survived — the mutual-exclusion witness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+from repro.memory.memsys import GlobalMemory
+from repro.sim.gpu import KernelLaunch
+
+
+class WorkloadError(AssertionError):
+    """A post-run validation failed: the kernel computed a wrong result."""
+
+
+@dataclass
+class Workload:
+    """A runnable, verifiable kernel instance."""
+
+    name: str
+    launch: KernelLaunch
+    memory: GlobalMemory
+    validate: Callable[[GlobalMemory], None]
+    #: Free-form workload facts (sizes, contention knobs) for reporting.
+    meta: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_threads(self) -> int:
+        return self.launch.grid_dim * self.launch.block_dim
+
+
+def require(condition: bool, message: str) -> None:
+    if not condition:
+        raise WorkloadError(message)
+
+
+def grid_geometry(n_threads: int, block_dim: int = 256) -> tuple:
+    """(grid_dim, block_dim) covering exactly ``n_threads`` threads."""
+    if n_threads % block_dim:
+        raise ValueError(
+            f"n_threads={n_threads} must be a multiple of block_dim={block_dim}"
+        )
+    return n_threads // block_dim, block_dim

@@ -1,0 +1,164 @@
+"""DS — cloth-physics distance solver with nested per-particle locks.
+
+Models the Distance Solver kernel of the Clothes Physics workload (paper
+Section V): each constraint connects two particles of a cloth mesh; a
+thread resolving a constraint must hold *both* particle locks while it
+moves the particles.  Locks are acquired nested — outer on the first
+particle, inner on the second — releasing the outer lock when the inner
+acquire fails, the paper's Figure 6a deadlock-free pattern.
+
+Contention comes from mesh adjacency: neighbouring constraints share a
+particle, so neighbouring threads collide.  ``n_particles`` tunes it.
+
+Invariant: every constraint's displacement is applied exactly once, so
+final positions match a sequential ledger replay.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.isa import assemble
+from repro.kernels.base import Workload, grid_geometry, require
+from repro.memory.memsys import GlobalMemory
+from repro.sim.gpu import KernelLaunch
+
+_SOURCE = r"""
+    ld.param %r_locks, [locks]
+    ld.param %r_pos, [positions]
+    ld.param %r_ia, [i_table]
+    ld.param %r_ja, [j_table]
+    ld.param %r_cpt, [constraints_per_thread]
+    mov %r_c, 0
+CONSTRAINT_LOOP:
+    mul %r_cid, %gtid, %r_cpt
+    add %r_cid, %r_cid, %r_c
+    shl %r_t0, %r_cid, 2
+    add %r_t1, %r_ia, %r_t0
+    ld.global %r_i, [%r_t1]
+    add %r_t1, %r_ja, %r_t0
+    ld.global %r_j, [%r_t1]
+    // displacement weight = constraint id + 1
+    add %r_w, %r_cid, 1
+    // Particle update addresses follow (i, j); lock acquisition is
+    // ordered by particle id (outer = lower id) to rule out the
+    // lockstep (a,b)/(b,a) livelock between lanes of one warp.
+    shl %r_t2, %r_i, 2
+    add %r_pi, %r_pos, %r_t2
+    shl %r_t3, %r_j, 2
+    add %r_pj, %r_pos, %r_t3
+    min %r_lo, %r_i, %r_j
+    max %r_hi, %r_i, %r_j
+    shl %r_t2, %r_lo, 2
+    add %r_lock1, %r_locks, %r_t2
+    shl %r_t3, %r_hi, 2
+    add %r_lock2, %r_locks, %r_t3
+    mov %r_done, 0
+SPIN:
+    atom.cas %r_o1, [%r_lock1], 0, 1 !lock_try !sync
+    setp.eq %p1, %r_o1, 0 !sync
+    @%p1 bra TRY2 !sync
+    bra JOIN !sync
+TRY2:
+    atom.cas %r_o2, [%r_lock2], 0, 1 !lock_try !sync
+    setp.eq %p2, %r_o2, 0 !sync
+    @%p2 bra CRIT !sync
+    atom.exch %r_ig, [%r_lock1], 0 !lock_release !sync
+    bra JOIN !sync
+CRIT:
+    // --- critical section: pull the two particles together ---
+    ld.global.cg %r_vi, [%r_pi]
+    ld.global.cg %r_vj, [%r_pj]
+    sub %r_vi, %r_vi, %r_w
+    add %r_vj, %r_vj, %r_w
+    st.global [%r_pi], %r_vi
+    st.global [%r_pj], %r_vj
+    membar !sync
+    atom.exch %r_ig, [%r_lock2], 0 !lock_release !sync
+    atom.exch %r_ig, [%r_lock1], 0 !lock_release !sync
+    mov %r_done, 1
+JOIN:
+    setp.eq %p3, %r_done, 0 !sync
+    @%p3 bra SPIN !sib !sync
+    add %r_c, %r_c, 1
+    setp.lt %p4, %r_c, %r_cpt
+    @%p4 bra CONSTRAINT_LOOP
+    exit
+"""
+
+
+def build_ds(
+    n_threads: int = 512,
+    n_particles: int = 96,
+    constraints_per_thread: int = 2,
+    block_dim: int = 256,
+    seed: int = 23,
+    memory: Optional[GlobalMemory] = None,
+) -> Workload:
+    """Nested-lock distance solver (paper's CP/DS benchmark)."""
+    grid_dim, block_dim = grid_geometry(n_threads, block_dim)
+    n_constraints = n_threads * constraints_per_thread
+    rng = np.random.default_rng(seed)
+    # Mesh-flavoured constraints: mostly ring neighbours plus some
+    # random long-range links (folds in the cloth).
+    i_idx = rng.integers(0, n_particles, size=n_constraints, dtype=np.int64)
+    near = (i_idx + 1) % n_particles
+    far = rng.integers(0, n_particles, size=n_constraints, dtype=np.int64)
+    use_far = rng.random(n_constraints) < 0.25
+    j_idx = np.where(use_far, far, near)
+    j_idx = np.where(j_idx == i_idx, (j_idx + 1) % n_particles, j_idx)
+
+    if memory is None:
+        memory = GlobalMemory(
+            max(1 << 18, 2 * n_constraints + 2 * n_particles + 4096)
+        )
+    locks = memory.alloc(n_particles)
+    positions = memory.alloc(n_particles)
+    i_table = memory.alloc(n_constraints)
+    j_table = memory.alloc(n_constraints)
+    initial = 10_000
+    memory.store_array(positions, [initial] * n_particles)
+    memory.store_array(i_table, i_idx.tolist())
+    memory.store_array(j_table, j_idx.tolist())
+
+    program = assemble(_SOURCE, name="ds")
+    params = {
+        "locks": locks,
+        "positions": positions,
+        "i_table": i_table,
+        "j_table": j_table,
+        "constraints_per_thread": constraints_per_thread,
+    }
+
+    expected = np.full(n_particles, initial, dtype=np.int64)
+    weights = np.arange(n_constraints, dtype=np.int64) + 1
+    np.subtract.at(expected, i_idx, weights)
+    np.add.at(expected, j_idx, weights)
+
+    def validate(mem: GlobalMemory) -> None:
+        positions_now = mem.load_array(positions, n_particles)
+        require(
+            int(positions_now.sum()) == initial * n_particles,
+            "total displacement not conserved",
+        )
+        mismatches = int((positions_now != expected).sum())
+        require(
+            mismatches == 0,
+            f"{mismatches} particle positions diverge from the ledger",
+        )
+        lock_words = mem.load_array(locks, n_particles)
+        require(int(lock_words.sum()) == 0, "a particle lock was left held")
+
+    return Workload(
+        name="ds",
+        launch=KernelLaunch(program, grid_dim, block_dim, params),
+        memory=memory,
+        validate=validate,
+        meta={
+            "n_threads": n_threads,
+            "n_particles": n_particles,
+            "constraints_per_thread": constraints_per_thread,
+        },
+    )

@@ -1,0 +1,221 @@
+"""HT — chained hashtable insertion under per-bucket spin locks.
+
+The paper's running example (Figure 1a, from *CUDA by Example*): every
+thread inserts keys into a chained hashtable; a bucket's chain head is
+protected by a spin lock acquired with ``atomicCAS`` and released with
+``atomicExch``, using the SIMT-safe "done flag" pattern so that lanes
+which acquired the lock can reach the release before reconverging with
+their still-spinning warp-mates.
+
+Contention is controlled by ``n_buckets`` — fewer buckets, more
+inter-warp conflicts (Figures 1 and 16).
+
+``build_hashtable_backoff`` adds the software back-off delay loop of
+Figure 3a (``clock()``-polling for ``DELAY_FACTOR * blockIdx.x`` cycles
+after every failed acquire) used to show that software-only back-off
+wastes issue slots.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.isa import assemble
+from repro.kernels.base import Workload, grid_geometry, require
+from repro.memory.memsys import GlobalMemory
+from repro.sim.gpu import KernelLaunch
+
+_NODE_WORDS = 2  # [key, next]; "next" stores (node index + 1), 0 = nil.
+
+#: Words between consecutive bucket mutexes.  CUDA by Example allocates
+#: each ``Lock``'s mutex with its own ``cudaMalloc``, so bucket locks
+#: live on distinct cache lines; packing them into one array would
+#: serialize every bucket's atomics on a single L2 bank — an artifact,
+#: not the benchmark.  32 words = one 128-byte line per lock.
+_LOCK_STRIDE_WORDS = 32
+
+_BODY = r"""
+    ld.param %r_locks, [locks]
+    ld.param %r_heads, [heads]
+    ld.param %r_keys, [keys]
+    ld.param %r_nodes, [nodes]
+    ld.param %r_nbuckets, [n_buckets]
+    ld.param %r_ipt, [items_per_thread]
+    mov %r_it, 0
+ITEM_LOOP:
+    // idx = gtid * items_per_thread + it
+    mul %r_idx, %gtid, %r_ipt
+    add %r_idx, %r_idx, %r_it
+    // key = keys[idx]
+    shl %r_t0, %r_idx, 2
+    add %r_t0, %r_keys, %r_t0
+    ld.global %r_key, [%r_t0]
+    // bucket = key % n_buckets
+    rem %r_b, %r_key, %r_nbuckets
+    // mutexes are one cache line apart (separately-allocated locks)
+    shl %r_t1, %r_b, 7
+    add %r_mutex, %r_locks, %r_t1
+    shl %r_t1, %r_b, 2
+    add %r_headp, %r_heads, %r_t1
+    mov %r_done, 0
+SPIN:
+    atom.cas %r_old, [%r_mutex], 0, 1 !lock_try !sync
+    setp.eq %p2, %r_old, 0 !sync
+    @%p2 bra CRIT !sync
+{FAIL_PATH}
+    bra JOIN !sync
+CRIT:
+    // --- critical section: push node onto the bucket chain ---
+    shl %r_t2, %r_idx, 3
+    add %r_node, %r_nodes, %r_t2
+    st.global [%r_node], %r_key
+    ld.global.cg %r_next, [%r_headp]
+    st.global [%r_node+4], %r_next
+    add %r_t3, %r_idx, 1
+    st.global [%r_headp], %r_t3
+    mov %r_done, 1
+    membar !sync
+    atom.exch %r_ig, [%r_mutex], 0 !lock_release !sync
+JOIN:
+    setp.eq %p3, %r_done, 0 !sync
+    @%p3 bra SPIN !sib !sync
+    add %r_it, %r_it, 1
+    setp.lt %p4, %r_it, %r_ipt
+    @%p4 bra ITEM_LOOP
+    exit
+"""
+
+# Figure 3a: poll clock() until DELAY_FACTOR * blockIdx.x cycles elapsed.
+# Note this loop's setp sources change every iteration (the clock ticks),
+# so DDOS correctly classifies it as a normal loop, not a spin.
+_BACKOFF_PATH = r"""
+    ld.param %r_factor, [delay_factor] !sync
+    clock %r_start !sync
+DELAY_LOOP:
+    clock %r_now !sync
+    sub %r_cyc, %r_now, %r_start !sync
+    mul %r_lim, %r_factor, %ctaid !sync
+    setp.lt %p5, %r_cyc, %r_lim !sync
+    @%p5 bra DELAY_LOOP !sync
+"""
+
+
+def _source(software_backoff: bool) -> str:
+    fail_path = _BACKOFF_PATH if software_backoff else ""
+    return _BODY.replace("{FAIL_PATH}", fail_path)
+
+
+def _build(
+    n_threads: int,
+    n_buckets: int,
+    items_per_thread: int,
+    block_dim: int,
+    seed: int,
+    software_backoff: bool,
+    delay_factor: int,
+    memory: Optional[GlobalMemory],
+) -> Workload:
+    grid_dim, block_dim = grid_geometry(n_threads, block_dim)
+    n_items = n_threads * items_per_thread
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, 1 << 20, size=n_items, dtype=np.int64)
+
+    if memory is None:
+        memory = GlobalMemory(
+            max(1 << 18,
+                8 * n_items + (2 + _LOCK_STRIDE_WORDS) * n_buckets + 4096)
+        )
+    locks = memory.alloc(n_buckets * _LOCK_STRIDE_WORDS)
+    heads = memory.alloc(n_buckets)
+    keys_base = memory.alloc(n_items)
+    nodes = memory.alloc(_NODE_WORDS * n_items)
+    memory.store_array(keys_base, keys.tolist())
+
+    params = {
+        "locks": locks,
+        "heads": heads,
+        "keys": keys_base,
+        "nodes": nodes,
+        "n_buckets": n_buckets,
+        "items_per_thread": items_per_thread,
+    }
+    name = "ht_backoff" if software_backoff else "ht"
+    if software_backoff:
+        params["delay_factor"] = delay_factor
+    program = assemble(_source(software_backoff), name=name)
+
+    def validate(mem: GlobalMemory) -> None:
+        """Walk every chain: all insertions present exactly once."""
+        seen = set()
+        head_words = mem.load_array(heads, n_buckets)
+        for bucket in range(n_buckets):
+            node_plus_1 = int(head_words[bucket])
+            steps = 0
+            while node_plus_1 != 0:
+                idx = node_plus_1 - 1
+                require(0 <= idx < n_items, f"chain points past nodes: {idx}")
+                require(idx not in seen, f"node {idx} linked twice")
+                seen.add(idx)
+                key = mem.read_word(nodes + 8 * idx)
+                require(
+                    key == int(keys[idx]),
+                    f"node {idx} lost its key ({key} != {int(keys[idx])})",
+                )
+                require(
+                    key % n_buckets == bucket,
+                    f"key {key} filed under bucket {bucket}",
+                )
+                node_plus_1 = mem.read_word(nodes + 8 * idx + 4)
+                steps += 1
+                require(steps <= n_items, "cycle in bucket chain")
+        require(
+            len(seen) == n_items,
+            f"lost insertions: {n_items - len(seen)} of {n_items} missing "
+            "(mutual exclusion violated)",
+        )
+
+    return Workload(
+        name=name,
+        launch=KernelLaunch(program, grid_dim, block_dim, params),
+        memory=memory,
+        validate=validate,
+        meta={
+            "n_threads": n_threads,
+            "n_buckets": n_buckets,
+            "items_per_thread": items_per_thread,
+            "n_items": n_items,
+        },
+    )
+
+
+def build_hashtable(
+    n_threads: int = 512,
+    n_buckets: int = 64,
+    items_per_thread: int = 2,
+    block_dim: int = 256,
+    seed: int = 7,
+    memory: Optional[GlobalMemory] = None,
+) -> Workload:
+    """Chained hashtable insertion (paper Figure 1a)."""
+    return _build(
+        n_threads, n_buckets, items_per_thread, block_dim, seed,
+        software_backoff=False, delay_factor=0, memory=memory,
+    )
+
+
+def build_hashtable_backoff(
+    n_threads: int = 512,
+    n_buckets: int = 64,
+    items_per_thread: int = 2,
+    block_dim: int = 256,
+    seed: int = 7,
+    delay_factor: int = 100,
+    memory: Optional[GlobalMemory] = None,
+) -> Workload:
+    """Hashtable insertion with the Figure 3a software back-off delay."""
+    return _build(
+        n_threads, n_buckets, items_per_thread, block_dim, seed,
+        software_backoff=True, delay_factor=delay_factor, memory=memory,
+    )

@@ -1,0 +1,223 @@
+"""NW — wavefront propagation with per-row wait/signal + locked updates.
+
+Following the fine-grained dataflow formulation of Li et al. [16], the
+scoring grid is processed as a pipeline of rows: one *warp* owns each
+row and sweeps it in 32-column chunks.  Before computing a chunk, every
+lane of the warp polls the predecessor row's progress counter — a
+warp-coherent busy-wait (all lanes spin together, the natural tiling of
+the real code) — and after computing it, lane 0 publishes the row's own
+progress under the row lock.
+
+This gives NW the paper's profile: lock traffic dominated by successful
+acquires (the publish lock is rarely contended), heavy busy-wait
+iterations from downstream rows polling upstream progress, and a strict
+age order — younger rows can make no progress before older rows, which
+is why NW "prefers GTO over LRR" (Section VI).
+
+NW1 and NW2 traverse the grid in opposite column directions.
+
+DP recurrence (lane-parallel): ``v[r][c] = max(v[r-1][c], v[r-1][c-1])
++ cost(r, c)`` for NW1, mirrored for NW2; the scored grid is validated
+against a sequential replay.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.isa import assemble
+from repro.kernels.base import Workload, grid_geometry, require
+from repro.memory.memsys import GlobalMemory
+from repro.sim.gpu import KernelLaunch
+
+_TEMPLATE = r"""
+    ld.param %r_locks, [locks]
+    ld.param %r_prog, [progress]
+    ld.param %r_grid, [grid]
+    ld.param %r_ncols, [n_cols]
+    ld.param %r_nchunks, [n_chunks]
+    ld.param %r_dir, [direction]
+    // One warp per row; all lanes of the warp share the row.
+    shr %r_row, %gtid, 5
+    // progress/locks carry a leading boundary entry (index 0 preset to
+    // n_chunks): poll index row, publish index row + 1.
+    shl %r_t0, %r_row, 2
+    add %r_progp, %r_prog, %r_t0
+    add %r_lockm, %r_locks, %r_t0
+    add %r_lockm, %r_lockm, 4
+    add %r_progm, %r_progp, 4
+    // Storage rows have halo columns on both sides: width n_cols + 2.
+    add %r_width, %r_ncols, 2
+    mul %r_t1, %r_row, %r_width
+    shl %r_t1, %r_t1, 2
+    add %r_upbase, %r_grid, %r_t1
+    shl %r_t2, %r_width, 2
+    add %r_mybase, %r_upbase, %r_t2
+    mov %r_chunk, 0
+CHUNK_LOOP:
+    add %r_need, %r_chunk, 1
+WAIT:
+    // Warp-coherent busy-wait on the predecessor row's progress: all
+    // lanes poll the flag together (volatile read in the real code —
+    // ``.cg`` bypasses the non-coherent L1), so warps are either fully
+    // waiting or fully computing, the natural tiling of dataflow NW.
+    ld.global.cg %r_pp, [%r_progp] !sync
+    setp.lt %p1, %r_pp, %r_need !sync
+    @%p1 bra WAIT !sib !wait_branch !sync
+    // col (traversal order) = chunk*32 + laneid, mirrored for NW2.
+    shl %r_c, %r_chunk, 5
+    add %r_c, %r_c, %laneid
+    setp.eq %p_d, %r_dir, 1
+    sub %r_rc, %r_ncols, 1
+    sub %r_rc, %r_rc, %r_c
+    selp %r_col, %r_c, %r_rc, %p_d
+    // Storage column = col + 1 (halo at 0).  "Behind" neighbour is
+    // col-1 for NW1 and col+1 for NW2.
+    add %r_sc, %r_col, 1
+    shl %r_t3, %r_sc, 2
+    add %r_upaddr, %r_upbase, %r_t3
+    ld.global.cg %r_up, [%r_upaddr]
+    selp %r_boff, -4, 4, %p_d
+    add %r_t4, %r_upaddr, %r_boff
+    ld.global.cg %r_ub, [%r_t4]
+    max %r_val, %r_up, %r_ub
+    // cost(row, col) = ((row + 1) * (col + 3)) % 17
+    add %r_t5, %r_row, 1
+    add %r_t6, %r_col, 3
+    mul %r_t7, %r_t5, %r_t6
+    rem %r_t7, %r_t7, 17
+    add %r_val, %r_val, %r_t7
+    // Scoring work per cell (substitution-matrix / gap evaluation in
+    // the real NW): straight-line hash mixing, cell_work rounds.  An
+    // inner loop here would hand DDOS a non-spin backward branch
+    // executed by warps whose profiled thread is still waiting.
+{WORK}
+    add %r_celladdr, %r_mybase, %r_t3
+    st.global [%r_celladdr], %r_val
+    // Lane 0 publishes the row's progress under the row lock.
+    setp.ne %p2, %laneid, 0
+    @%p2 bra SKIPPUB
+    membar !sync
+ACQ:
+    // The publish lock is only ever taken by this warp's lane 0, so
+    // this acquire loop never actually spins at runtime — it is not
+    // annotated !sib (ground truth = branches that induce spinning).
+    atom.cas %r_o, [%r_lockm], 0, 1 !lock_try !sync
+    setp.ne %p3, %r_o, 0 !sync
+    @%p3 bra ACQ !sync
+    ld.global.cg %r_mp, [%r_progm] !sync
+    add %r_mp, %r_mp, 1 !sync
+    st.global [%r_progm], %r_mp !sync
+    membar !sync
+    atom.exch %r_ig, [%r_lockm], 0 !lock_release !sync
+SKIPPUB:
+    add %r_chunk, %r_chunk, 1
+    setp.lt %p4, %r_chunk, %r_nchunks
+    @%p4 bra CHUNK_LOOP
+    exit
+"""
+
+
+def _expected_grid(n_rows: int, n_cols: int, direction: int,
+                   cell_work: int) -> np.ndarray:
+    """Sequential replay; storage is (n_rows+1) x (n_cols+2) with halos."""
+    width = n_cols + 2
+    grid = np.zeros((n_rows + 1, width), dtype=np.int64)
+    for r in range(n_rows):
+        cols = range(n_cols) if direction == 1 else range(n_cols - 1, -1, -1)
+        for col in cols:
+            sc = col + 1
+            behind = sc - 1 if direction == 1 else sc + 1
+            up = int(grid[r][sc])
+            ub = int(grid[r][behind]) if 0 <= behind < width else 0
+            cost = ((r + 1) * (col + 3)) % 17
+            value = max(up, ub) + cost
+            for _ in range(cell_work):
+                value = (value * 3 + 7) & 0xFFFF
+            grid[r + 1][sc] = value
+    return grid
+
+
+def build_nw(
+    direction: int = 1,
+    n_threads: int = 768,
+    n_cols: int = 96,
+    cell_work: int = 12,
+    block_dim: int = 256,
+    memory: Optional[GlobalMemory] = None,
+) -> Workload:
+    """Wavefront kernel; ``direction`` 1 = NW1 (L→R), 2 = NW2 (R→L).
+
+    One warp per row: ``n_threads`` must be a multiple of the warp size
+    and ``n_cols`` a multiple of 32.  Every row's warp must be resident
+    at once (the pipeline stalls otherwise), so keep ``n_threads``
+    within the GPU's total thread capacity.
+    """
+    if direction not in (1, 2):
+        raise ValueError("direction must be 1 (NW1) or 2 (NW2)")
+    if n_threads % 32:
+        raise ValueError("n_threads must be a multiple of the warp size")
+    if n_cols % 32 or n_cols == 0:
+        raise ValueError("n_cols must be a positive multiple of 32")
+    grid_dim, block_dim = grid_geometry(n_threads, block_dim)
+    n_rows = n_threads // 32
+    n_chunks = n_cols // 32
+    width = n_cols + 2
+
+    if memory is None:
+        memory = GlobalMemory(
+            max(1 << 17, (n_rows + 1) * width + 2 * n_rows + 4096)
+        )
+    locks = memory.alloc(n_rows + 1)
+    progress = memory.alloc(n_rows + 1)
+    grid = memory.alloc((n_rows + 1) * width)
+    # Boundary entry: the virtual row above row 0 is always complete.
+    memory.store_array(progress, [n_chunks] + [0] * n_rows)
+
+    name = f"nw{direction}"
+    work = "\n".join(
+        "    mad %r_val, %r_val, 3, 7\n    and %r_val, %r_val, 65535"
+        for _ in range(cell_work)
+    )
+    program = assemble(_TEMPLATE.replace("{WORK}", work), name=name)
+    params = {
+        "locks": locks,
+        "progress": progress,
+        "grid": grid,
+        "n_cols": n_cols,
+        "n_chunks": n_chunks,
+        "direction": direction,
+        "cell_work": cell_work,
+    }
+
+    expected = _expected_grid(n_rows, n_cols, direction, cell_work)
+
+    def validate(mem: GlobalMemory) -> None:
+        got = mem.load_array(grid, (n_rows + 1) * width)
+        got = got.reshape(n_rows + 1, width)
+        mismatches = int((got != expected).sum())
+        require(
+            mismatches == 0,
+            f"{mismatches} wavefront cells wrong (dependency violated)",
+        )
+        prog = mem.load_array(progress, n_rows + 1)
+        require(
+            (prog == n_chunks).all(), "a row did not complete all chunks"
+        )
+        lock_words = mem.load_array(locks, n_rows + 1)
+        require(int(lock_words.sum()) == 0, "a row lock was left held")
+
+    return Workload(
+        name=name,
+        launch=KernelLaunch(program, grid_dim, block_dim, params),
+        memory=memory,
+        validate=validate,
+        meta={
+            "n_rows": n_rows,
+            "n_cols": n_cols,
+            "direction": direction,
+            "n_chunks": n_chunks,
+        },
+    )

@@ -1,0 +1,489 @@
+"""Synchronization-free kernels (Rodinia stand-ins, paper Sections V/VI-B).
+
+These exercise DDOS's false-detection behaviour and provide the Figure 14
+workloads:
+
+* ``kmeans`` — the unit-stride copy loop of the paper's Figure 7c; its
+  induction variable changes every iteration, so no hash scheme
+  misclassifies it.
+* ``ms`` (merge-sort style) and ``hl`` (heart-wall style) — loops whose
+  induction variables increment by a power of two ≥ 2**k (k = hash
+  width).  Under MODULO hashing the low k bits never change, the value
+  history repeats, and DDOS *falsely* detects a spin — exactly the MS/HL
+  false positives the paper reports; XOR hashing sees the high-bit
+  changes and stays clean.
+* ``reduction`` — barrier-synchronized tree reduction (stride halves).
+* ``vecadd``, ``stencil`` — memory-bound streaming loops.
+* ``histogram`` — atomics *without* a retry loop: exercises the
+  "atomic-heavy but not spinning" case.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.isa import assemble
+from repro.kernels.base import Workload, grid_geometry, require
+from repro.memory.memsys import GlobalMemory
+from repro.sim.gpu import KernelLaunch
+
+_KMEANS_SOURCE = r"""
+    ld.param %r_in, [src]
+    ld.param %r_out, [dst]
+    ld.param %r_n, [per_thread]
+    // Figure 7c: pointer-walking copy loop, unit-stride induction.
+    mul %r_i, %gtid, %r_n
+    add %r_end, %r_i, %r_n
+    shl %r_pa, %r_i, 2
+    add %r_pin, %r_in, %r_pa
+    add %r_pout, %r_out, %r_pa
+LOOP:
+    ld.global %r_v, [%r_pin]
+    st.global [%r_pout], %r_v
+    add %r_pin, %r_pin, 4
+    add %r_pout, %r_pout, 4
+    add %r_i, %r_i, 1
+    setp.lt %p4, %r_i, %r_end
+    @%p4 bra LOOP
+    exit
+"""
+
+_MS_SOURCE = r"""
+    ld.param %r_in, [src]
+    ld.param %r_out, [dst]
+    ld.param %r_n, [n_elems]
+    ld.param %r_stride, [stride]
+    // Merge-sort-style pass: stride is a large power of two, so the
+    // induction variable's low 8 bits never change -> MODULO-hash alias.
+    mov %r_i, %gtid
+MS_LOOP:
+    shl %r_t0, %r_i, 2
+    add %r_t1, %r_in, %r_t0
+    ld.global %r_a, [%r_t1]
+    add %r_t2, %r_out, %r_t0
+    // "merge" step: keep the max of the element and its mirrored partner
+    sub %r_m, %r_n, 1
+    sub %r_m, %r_m, %r_i
+    shl %r_t3, %r_m, 2
+    add %r_t3, %r_in, %r_t3
+    ld.global %r_b, [%r_t3]
+    max %r_v, %r_a, %r_b
+    st.global [%r_t2], %r_v
+    add %r_i, %r_i, %r_stride
+    setp.lt %p1, %r_i, %r_n
+    @%p1 bra MS_LOOP
+    exit
+"""
+
+_HL_SOURCE = r"""
+    ld.param %r_in, [src]
+    ld.param %r_acc, [dst]
+    ld.param %r_n, [n_elems]
+    ld.param %r_stride, [stride]
+    // Heart-wall-style accumulation over a strided window; again a
+    // power-of-two stride larger than the MODULO hash range.
+    mov %r_i, %gtid
+    mov %r_sum, 0
+HL_LOOP:
+    shl %r_t0, %r_i, 2
+    add %r_t1, %r_in, %r_t0
+    ld.global %r_v, [%r_t1]
+    mad %r_sum, %r_v, 3, %r_sum
+    add %r_i, %r_i, %r_stride
+    setp.lt %p1, %r_i, %r_n
+    @%p1 bra HL_LOOP
+    shl %r_t2, %gtid, 2
+    add %r_t3, %r_acc, %r_t2
+    st.global [%r_t3], %r_sum
+    exit
+"""
+
+_VECADD_SOURCE = r"""
+    ld.param %r_a, [a]
+    ld.param %r_b, [b]
+    ld.param %r_c, [c]
+    ld.param %r_n, [per_thread]
+    mul %r_i, %gtid, %r_n
+    add %r_end, %r_i, %r_n
+VA_LOOP:
+    shl %r_t0, %r_i, 2
+    add %r_t1, %r_a, %r_t0
+    ld.global %r_x, [%r_t1]
+    add %r_t2, %r_b, %r_t0
+    ld.global %r_y, [%r_t2]
+    add %r_z, %r_x, %r_y
+    add %r_t3, %r_c, %r_t0
+    st.global [%r_t3], %r_z
+    add %r_i, %r_i, 1
+    setp.lt %p1, %r_i, %r_end
+    @%p1 bra VA_LOOP
+    exit
+"""
+
+_REDUCTION_SOURCE = r"""
+    ld.param %r_data, [data]
+    ld.param %r_out, [out]
+    // Tree reduction within the CTA over a per-CTA segment.
+    ld.param %r_bdim, [block_dim]
+    mul %r_base, %ctaid, %r_bdim
+    add %r_g, %r_base, %tid
+    shl %r_t0, %r_g, 2
+    add %r_myaddr, %r_data, %r_t0
+    shr %r_s, %r_bdim, 1
+RED_LOOP:
+    setp.ge %p1, %tid, %r_s
+    @%p1 bra SKIP
+    // data[g] += data[g + s]
+    shl %r_t1, %r_s, 2
+    add %r_peer, %r_myaddr, %r_t1
+    ld.global %r_a, [%r_myaddr]
+    ld.global.cg %r_b, [%r_peer]
+    add %r_a, %r_a, %r_b
+    st.global [%r_myaddr], %r_a
+SKIP:
+    bar.sync
+    shr %r_s, %r_s, 1
+    setp.gt %p2, %r_s, 0
+    @%p2 bra RED_LOOP
+    setp.ne %p3, %tid, 0
+    @%p3 bra DONE
+    ld.global.cg %r_sum, [%r_myaddr]
+    shl %r_t2, %ctaid, 2
+    add %r_t3, %r_out, %r_t2
+    st.global [%r_t3], %r_sum
+DONE:
+    exit
+"""
+
+_STENCIL_SOURCE = r"""
+    ld.param %r_in, [src]
+    ld.param %r_out, [dst]
+    ld.param %r_n, [per_thread]
+    mul %r_i, %gtid, %r_n
+    add %r_i, %r_i, 1
+    add %r_end, %r_i, %r_n
+ST_LOOP:
+    shl %r_t0, %r_i, 2
+    add %r_t1, %r_in, %r_t0
+    ld.global %r_c, [%r_t1]
+    ld.global %r_l, [%r_t1+-4]
+    ld.global %r_r, [%r_t1+4]
+    add %r_v, %r_l, %r_c
+    add %r_v, %r_v, %r_r
+    add %r_t2, %r_out, %r_t0
+    st.global [%r_t2], %r_v
+    add %r_i, %r_i, 1
+    setp.lt %p1, %r_i, %r_end
+    @%p1 bra ST_LOOP
+    exit
+"""
+
+_HISTOGRAM_SOURCE = r"""
+    ld.param %r_data, [data]
+    ld.param %r_bins, [bins]
+    ld.param %r_nbins, [n_bins]
+    ld.param %r_n, [per_thread]
+    mul %r_i, %gtid, %r_n
+    add %r_end, %r_i, %r_n
+HIST_LOOP:
+    shl %r_t0, %r_i, 2
+    add %r_t1, %r_data, %r_t0
+    ld.global %r_v, [%r_t1]
+    rem %r_b, %r_v, %r_nbins
+    shl %r_t2, %r_b, 2
+    add %r_t3, %r_bins, %r_t2
+    atom.add %r_old, [%r_t3], 1
+    add %r_i, %r_i, 1
+    setp.lt %p1, %r_i, %r_end
+    @%p1 bra HIST_LOOP
+    exit
+"""
+
+
+def _alloc_and_fill(memory: GlobalMemory, values: np.ndarray) -> int:
+    base = memory.alloc(len(values))
+    memory.store_array(base, values.tolist())
+    return base
+
+
+def build_kmeans(
+    n_threads: int = 256,
+    per_thread: int = 16,
+    block_dim: int = 128,
+    seed: int = 31,
+    memory: Optional[GlobalMemory] = None,
+) -> Workload:
+    """Unit-stride copy loop (the paper's Figure 7c normal loop)."""
+    grid_dim, block_dim = grid_geometry(n_threads, block_dim)
+    n = n_threads * per_thread
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, 1 << 20, size=n, dtype=np.int64)
+    if memory is None:
+        memory = GlobalMemory(max(1 << 17, 2 * n + 4096))
+    src_base = _alloc_and_fill(memory, src)
+    dst_base = memory.alloc(n)
+    program = assemble(_KMEANS_SOURCE, name="kmeans")
+
+    def validate(mem: GlobalMemory) -> None:
+        got = mem.load_array(dst_base, n)
+        require((got == src).all(), "copy loop corrupted data")
+
+    return Workload(
+        name="kmeans",
+        launch=KernelLaunch(
+            program, grid_dim, block_dim,
+            {"src": src_base, "dst": dst_base, "per_thread": per_thread},
+        ),
+        memory=memory,
+        validate=validate,
+        meta={"n_threads": n_threads, "per_thread": per_thread},
+    )
+
+
+def _build_strided(
+    name: str,
+    source: str,
+    n_threads: int,
+    iterations: int,
+    stride: int,
+    block_dim: int,
+    seed: int,
+    memory: Optional[GlobalMemory],
+) -> Workload:
+    grid_dim, block_dim = grid_geometry(n_threads, block_dim)
+    n_elems = stride * iterations
+    if n_threads > stride:
+        raise ValueError("n_threads must be <= stride for full coverage")
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, 1 << 20, size=n_elems, dtype=np.int64)
+    if memory is None:
+        memory = GlobalMemory(max(1 << 18, 2 * n_elems + n_threads + 4096))
+    src_base = _alloc_and_fill(memory, src)
+    if name == "ms":
+        dst_base = memory.alloc(n_elems)
+        params = {
+            "src": src_base, "dst": dst_base,
+            "n_elems": n_elems, "stride": stride,
+        }
+        mirrored = src[::-1]
+        expected = np.maximum(src, mirrored)
+
+        def validate(mem: GlobalMemory) -> None:
+            got = mem.load_array(dst_base, n_elems)
+            touched = np.zeros(n_elems, dtype=bool)
+            for t in range(n_threads):
+                touched[t::stride] = True
+            require(
+                (got[touched] == expected[touched]).all(),
+                "merge pass produced wrong elements",
+            )
+    else:  # hl
+        dst_base = memory.alloc(n_threads)
+        params = {
+            "src": src_base, "dst": dst_base,
+            "n_elems": n_elems, "stride": stride,
+        }
+        expected = np.array(
+            [3 * int(src[t::stride].sum()) for t in range(n_threads)],
+            dtype=np.int64,
+        )
+
+        def validate(mem: GlobalMemory) -> None:
+            got = mem.load_array(dst_base, n_threads)
+            require((got == expected).all(), "window accumulation wrong")
+
+    program = assemble(source, name=name)
+    return Workload(
+        name=name,
+        launch=KernelLaunch(program, grid_dim, block_dim, params),
+        memory=memory,
+        validate=validate,
+        meta={
+            "n_threads": n_threads,
+            "iterations": iterations,
+            "stride": stride,
+        },
+    )
+
+
+def build_mergesort(
+    n_threads: int = 256,
+    iterations: int = 16,
+    stride: int = 256,
+    block_dim: int = 128,
+    seed: int = 37,
+    memory: Optional[GlobalMemory] = None,
+) -> Workload:
+    """MS: power-of-two-stride pass (MODULO false-detection trigger)."""
+    return _build_strided(
+        "ms", _MS_SOURCE, n_threads, iterations, stride, block_dim, seed,
+        memory,
+    )
+
+
+def build_heartwall(
+    n_threads: int = 256,
+    iterations: int = 12,
+    stride: int = 512,
+    block_dim: int = 128,
+    seed: int = 41,
+    memory: Optional[GlobalMemory] = None,
+) -> Workload:
+    """HL: strided window accumulation (MODULO false-detection trigger)."""
+    return _build_strided(
+        "hl", _HL_SOURCE, n_threads, iterations, stride, block_dim, seed,
+        memory,
+    )
+
+
+def build_vecadd(
+    n_threads: int = 256,
+    per_thread: int = 8,
+    block_dim: int = 128,
+    seed: int = 43,
+    memory: Optional[GlobalMemory] = None,
+) -> Workload:
+    """Streaming elementwise addition."""
+    grid_dim, block_dim = grid_geometry(n_threads, block_dim)
+    n = n_threads * per_thread
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 1 << 20, size=n, dtype=np.int64)
+    b = rng.integers(0, 1 << 20, size=n, dtype=np.int64)
+    if memory is None:
+        memory = GlobalMemory(max(1 << 17, 3 * n + 4096))
+    a_base = _alloc_and_fill(memory, a)
+    b_base = _alloc_and_fill(memory, b)
+    c_base = memory.alloc(n)
+    program = assemble(_VECADD_SOURCE, name="vecadd")
+
+    def validate(mem: GlobalMemory) -> None:
+        got = mem.load_array(c_base, n)
+        require((got == a + b).all(), "vector addition wrong")
+
+    return Workload(
+        name="vecadd",
+        launch=KernelLaunch(
+            program, grid_dim, block_dim,
+            {"a": a_base, "b": b_base, "c": c_base, "per_thread": per_thread},
+        ),
+        memory=memory,
+        validate=validate,
+        meta={"n_threads": n_threads, "per_thread": per_thread},
+    )
+
+
+def build_reduction(
+    n_threads: int = 256,
+    block_dim: int = 128,
+    seed: int = 47,
+    memory: Optional[GlobalMemory] = None,
+) -> Workload:
+    """Barrier-synchronized tree reduction (one sum per CTA)."""
+    grid_dim, block_dim = grid_geometry(n_threads, block_dim)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 1 << 16, size=n_threads, dtype=np.int64)
+    if memory is None:
+        memory = GlobalMemory(max(1 << 17, n_threads + grid_dim + 4096))
+    data_base = _alloc_and_fill(memory, data)
+    out_base = memory.alloc(grid_dim)
+    program = assemble(_REDUCTION_SOURCE, name="reduction")
+    expected = np.array(
+        [
+            int(data[c * block_dim:(c + 1) * block_dim].sum())
+            for c in range(grid_dim)
+        ],
+        dtype=np.int64,
+    )
+
+    def validate(mem: GlobalMemory) -> None:
+        got = mem.load_array(out_base, grid_dim)
+        require((got == expected).all(), "per-CTA reduction sums wrong")
+
+    return Workload(
+        name="reduction",
+        launch=KernelLaunch(
+            program, grid_dim, block_dim,
+            {"data": data_base, "out": out_base, "block_dim": block_dim},
+        ),
+        memory=memory,
+        validate=validate,
+        meta={"n_threads": n_threads, "block_dim": block_dim},
+    )
+
+
+def build_stencil(
+    n_threads: int = 256,
+    per_thread: int = 8,
+    block_dim: int = 128,
+    seed: int = 53,
+    memory: Optional[GlobalMemory] = None,
+) -> Workload:
+    """1-D three-point stencil over a halo-padded array."""
+    grid_dim, block_dim = grid_geometry(n_threads, block_dim)
+    n = n_threads * per_thread + 2  # halo cells on both ends
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, 1 << 18, size=n, dtype=np.int64)
+    if memory is None:
+        memory = GlobalMemory(max(1 << 17, 2 * n + 4096))
+    src_base = _alloc_and_fill(memory, src)
+    dst_base = memory.alloc(n)
+    program = assemble(_STENCIL_SOURCE, name="stencil")
+    expected = src[:-2] + src[1:-1] + src[2:]
+
+    def validate(mem: GlobalMemory) -> None:
+        got = mem.load_array(dst_base, n)[1:-1]
+        require((got == expected).all(), "stencil result wrong")
+
+    return Workload(
+        name="stencil",
+        launch=KernelLaunch(
+            program, grid_dim, block_dim,
+            {"src": src_base, "dst": dst_base, "per_thread": per_thread},
+        ),
+        memory=memory,
+        validate=validate,
+        meta={"n_threads": n_threads, "per_thread": per_thread},
+    )
+
+
+def build_histogram(
+    n_threads: int = 256,
+    per_thread: int = 8,
+    n_bins: int = 32,
+    block_dim: int = 128,
+    seed: int = 59,
+    memory: Optional[GlobalMemory] = None,
+) -> Workload:
+    """Atomic histogram — atomics without a retry loop (no spin)."""
+    grid_dim, block_dim = grid_geometry(n_threads, block_dim)
+    n = n_threads * per_thread
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 1 << 20, size=n, dtype=np.int64)
+    if memory is None:
+        memory = GlobalMemory(max(1 << 17, n + n_bins + 4096))
+    data_base = _alloc_and_fill(memory, data)
+    bins_base = memory.alloc(n_bins)
+    program = assemble(_HISTOGRAM_SOURCE, name="histogram")
+    expected = np.bincount(data % n_bins, minlength=n_bins)
+
+    def validate(mem: GlobalMemory) -> None:
+        got = mem.load_array(bins_base, n_bins)
+        require((got == expected).all(), "histogram counts wrong")
+
+    return Workload(
+        name="histogram",
+        launch=KernelLaunch(
+            program, grid_dim, block_dim,
+            {
+                "data": data_base,
+                "bins": bins_base,
+                "n_bins": n_bins,
+                "per_thread": per_thread,
+            },
+        ),
+        memory=memory,
+        validate=validate,
+        meta={"n_threads": n_threads, "n_bins": n_bins},
+    )

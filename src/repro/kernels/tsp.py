@@ -1,0 +1,135 @@
+"""TSP — compute-heavy tour evaluation with a lane-serialized global lock.
+
+Mirrors the paper's Figure 6b pattern (from O'Neil et al.'s CUDA TSP):
+each thread ("climber") evaluates a candidate tour cost with a long
+arithmetic loop, then updates the global best under a single global spin
+lock.  Critical-section execution is serialized across lanes of a warp
+(``if (laneid == i)``), so the spin loop runs with one active lane —
+the intra-warp serialization idiom that avoids SIMT-induced deadlock for
+plain ``while(atomicCAS(...))`` loops.
+
+Synchronization instructions are a tiny fraction of the total (the paper
+reports <0.03%), so BOWS should neither help nor hurt much here; large
+fixed back-off delays can hurt (Figure 10).
+
+Invariant: the global best equals the minimum over all climbers' costs,
+and the winner id is a climber achieving it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.isa import assemble
+from repro.kernels.base import Workload, grid_geometry, require
+from repro.memory.memsys import GlobalMemory
+from repro.sim.gpu import KernelLaunch
+
+_SOURCE = r"""
+    ld.param %r_data, [tour_data]
+    ld.param %r_iters, [eval_iters]
+    ld.param %r_best, [best_addr]
+    ld.param %r_bestid, [best_id_addr]
+    ld.param %r_glock, [global_lock]
+    // --- tour evaluation: cost = sum of a pseudo-random walk ---
+    shl %r_t0, %gtid, 2
+    add %r_t0, %r_data, %r_t0
+    ld.global %r_x, [%r_t0]
+    mov %r_cost, 0
+    mov %r_i, 0
+EVAL_LOOP:
+    // x = (x * 1103515245 + 12345) mod 2^31; cost += x mod 1024
+    mul %r_x, %r_x, 1103515245
+    add %r_x, %r_x, 12345
+    and %r_x, %r_x, 2147483647
+    rem %r_step, %r_x, 1024
+    add %r_cost, %r_cost, %r_step
+    add %r_i, %r_i, 1
+    setp.lt %p1, %r_i, %r_iters
+    @%p1 bra EVAL_LOOP
+    // --- lane-serialized global-lock update of the best tour ---
+    mov %r_lane, 0
+SERIAL_LOOP:
+    setp.eq %p2, %laneid, %r_lane
+    @!%p2 bra SKIP
+SPIN:
+    atom.cas %r_old, [%r_glock], 0, 1 !lock_try !sync
+    setp.ne %p3, %r_old, 0 !sync
+    @%p3 bra SPIN !sib !sync
+    // critical section: best = min(best, cost)
+    ld.global.cg %r_cur, [%r_best]
+    setp.lt %p4, %r_cost, %r_cur
+    @!%p4 bra RELEASE
+    st.global [%r_best], %r_cost
+    st.global [%r_bestid], %gtid
+RELEASE:
+    membar !sync
+    atom.exch %r_ig, [%r_glock], 0 !lock_release !sync
+SKIP:
+    add %r_lane, %r_lane, 1
+    setp.lt %p5, %r_lane, 32
+    @%p5 bra SERIAL_LOOP
+    exit
+"""
+
+
+def build_tsp(
+    n_threads: int = 512,
+    eval_iters: int = 64,
+    block_dim: int = 256,
+    seed: int = 13,
+    memory: Optional[GlobalMemory] = None,
+) -> Workload:
+    """Global-lock best-tour update (paper's TSP benchmark, Figure 6b)."""
+    grid_dim, block_dim = grid_geometry(n_threads, block_dim)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(1, 1 << 20, size=n_threads, dtype=np.int64)
+
+    if memory is None:
+        memory = GlobalMemory(max(1 << 17, n_threads + 4096))
+    tour_data = memory.alloc(n_threads)
+    best_addr = memory.alloc(1)
+    best_id_addr = memory.alloc(1)
+    global_lock = memory.alloc(1)
+    memory.store_array(tour_data, data.tolist())
+    big = (1 << 31) - 1
+    memory.write_word(best_addr, big)
+    memory.write_word(best_id_addr, -1)
+
+    program = assemble(_SOURCE, name="tsp")
+    params = {
+        "tour_data": tour_data,
+        "eval_iters": eval_iters,
+        "best_addr": best_addr,
+        "best_id_addr": best_id_addr,
+        "global_lock": global_lock,
+    }
+
+    def expected_cost(x0: int) -> int:
+        x, cost = int(x0), 0
+        for _ in range(eval_iters):
+            x = (x * 1103515245 + 12345) & 0x7FFFFFFF
+            cost += x % 1024
+        return cost
+
+    costs = np.array([expected_cost(x) for x in data], dtype=np.int64)
+
+    def validate(mem: GlobalMemory) -> None:
+        best = mem.read_word(best_addr)
+        best_id = mem.read_word(best_id_addr)
+        require(best == int(costs.min()), "global best is not the minimum")
+        require(
+            0 <= best_id < n_threads and int(costs[best_id]) == best,
+            "winner id does not achieve the best cost",
+        )
+        require(mem.read_word(global_lock) == 0, "global lock left held")
+
+    return Workload(
+        name="tsp",
+        launch=KernelLaunch(program, grid_dim, block_dim, params),
+        memory=memory,
+        validate=validate,
+        meta={"n_threads": n_threads, "eval_iters": eval_iters},
+    )

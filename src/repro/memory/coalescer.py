@@ -1,0 +1,30 @@
+"""Memory-access coalescing.
+
+A warp's per-lane byte addresses are merged into the minimal set of
+cache-line-sized transactions, as GPU load/store units have done since
+compute capability 2.x.  The number of transactions a warp generates is
+both a timing input (each transaction occupies cache/DRAM bandwidth) and a
+reported metric (paper Figures 1d and 13b count memory transactions).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def coalesce(addresses: np.ndarray, line_bytes: int) -> List[int]:
+    """Unique cache-line base addresses touched by ``addresses``.
+
+    Args:
+        addresses: byte addresses of the active lanes.
+        line_bytes: cache line size.
+
+    Returns:
+        Sorted list of line base addresses (one per memory transaction).
+    """
+    if addresses.size == 0:
+        return []
+    lines = np.unique(addresses // line_bytes) * line_bytes
+    return [int(a) for a in lines]

@@ -1,0 +1,221 @@
+"""Functional global memory plus the L1/L2/DRAM timing model.
+
+Functional state (what values memory holds) is a single flat word array —
+the simulator executes instructions functionally at issue, in a global
+total order, so atomicity of read-modify-write operations is inherent.
+Timing (when a warp's destination registers become available, how many
+transactions the access generated, queueing at L2 banks and DRAM) is
+computed here and returned to the SM, which blocks the warp's scoreboard
+until the completion cycle.
+
+Coherence model (Fermi-faithful, Section II of the paper):
+
+* loads allocate in the issuing SM's L1 unless the ``.cg`` variant is used;
+* stores are write-through, no-allocate, and evict the line from the
+  *local* L1 only — remote L1s may serve stale data, which is why spin
+  code must poll with atomics or ``.cg`` loads;
+* atomics bypass L1 entirely and are serialized at the L2 banks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.memory.cache import Cache
+from repro.memory.coalescer import coalesce
+from repro.sim.config import GPUConfig
+
+#: Bytes per memory word (all accesses are 32-bit).
+WORD_BYTES = 4
+
+
+class GlobalMemory:
+    """Flat, word-addressed functional memory with a bump allocator."""
+
+    def __init__(self, size_words: int = 1 << 20) -> None:
+        self.words = np.zeros(size_words, dtype=np.int64)
+        self._next_free = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return self.words.size * WORD_BYTES
+
+    def alloc(self, n_words: int, align_words: int = 32) -> int:
+        """Reserve ``n_words`` and return the base *byte* address."""
+        base = -(-self._next_free // align_words) * align_words
+        if base + n_words > self.words.size:
+            raise MemoryError(
+                f"global memory exhausted: need {n_words} words at {base}"
+            )
+        self._next_free = base + n_words
+        return base * WORD_BYTES
+
+    def _index(self, byte_addrs: np.ndarray) -> np.ndarray:
+        idx = np.asarray(byte_addrs, dtype=np.int64) // WORD_BYTES
+        if (idx < 0).any() or (idx >= self.words.size).any():
+            raise IndexError("global memory access out of bounds")
+        return idx
+
+    def read(self, byte_addrs: np.ndarray) -> np.ndarray:
+        return self.words[self._index(byte_addrs)]
+
+    def write(self, byte_addrs: np.ndarray, values: np.ndarray) -> None:
+        self.words[self._index(byte_addrs)] = np.asarray(values, dtype=np.int64)
+
+    # Convenience scalar/stage helpers for workload setup and validation.
+
+    def read_word(self, byte_addr: int) -> int:
+        return int(self.words[byte_addr // WORD_BYTES])
+
+    def write_word(self, byte_addr: int, value: int) -> None:
+        self.words[byte_addr // WORD_BYTES] = value
+
+    def store_array(self, byte_addr: int, values: Sequence[int]) -> None:
+        start = byte_addr // WORD_BYTES
+        self.words[start:start + len(values)] = np.asarray(values, dtype=np.int64)
+
+    def load_array(self, byte_addr: int, n_words: int) -> np.ndarray:
+        start = byte_addr // WORD_BYTES
+        return self.words[start:start + n_words].copy()
+
+
+@dataclass
+class MemoryAccessResult:
+    """Timing outcome of one warp-level memory instruction."""
+
+    completion: int
+    transactions: int
+
+
+@dataclass
+class MemoryStats:
+    """Aggregate event counters (inputs to metrics and the energy model)."""
+
+    load_transactions: int = 0
+    store_transactions: int = 0
+    atomic_transactions: int = 0
+    sync_transactions: int = 0
+    other_transactions: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    dram_accesses: int = 0
+
+    @property
+    def total_transactions(self) -> int:
+        return (
+            self.load_transactions
+            + self.store_transactions
+            + self.atomic_transactions
+        )
+
+    def merge(self, other: "MemoryStats") -> None:
+        for name in vars(other):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+class MemorySubsystem:
+    """Timing model: per-SM L1s, banked shared L2, DRAM behind it."""
+
+    def __init__(self, config: GPUConfig) -> None:
+        self.config = config
+        self.l1: List[Cache] = [Cache(config.l1d) for _ in range(config.num_sms)]
+        self.l2 = Cache(config.l2)
+        self._bank_free = [0] * config.num_l2_banks
+        self._dram_free = 0
+        self.stats = MemoryStats()
+
+    # ------------------------------------------------------------------
+
+    def _l2_latency(self, line_addr: int, now: int,
+                    service: Optional[int] = None) -> int:
+        """Completion cycle of an L2 access arriving at ``now``."""
+        cfg = self.config
+        bank = (line_addr // cfg.l2.line_bytes) % cfg.num_l2_banks
+        start = max(now, self._bank_free[bank])
+        if service is None:
+            service = cfg.l2_service_interval
+        self._bank_free[bank] = start + service
+        if self.l2.access(line_addr):
+            self.stats.l2_hits += 1
+            return start + cfg.l2_hit_latency
+        self.stats.l2_misses += 1
+        dram_start = max(start + cfg.l2_hit_latency, self._dram_free)
+        self._dram_free = dram_start + cfg.dram_service_interval
+        self.stats.dram_accesses += 1
+        return dram_start + cfg.dram_latency
+
+    def _classify(self, n_tx: int, sync: bool) -> None:
+        if sync:
+            self.stats.sync_transactions += n_tx
+        else:
+            self.stats.other_transactions += n_tx
+
+    # ------------------------------------------------------------------
+
+    def load(self, sm_id: int, addresses: np.ndarray, now: int,
+             bypass_l1: bool = False, sync: bool = False) -> MemoryAccessResult:
+        """A warp-level load of the given active-lane byte addresses."""
+        cfg = self.config
+        lines = coalesce(addresses, cfg.l1d.line_bytes)
+        completion = now
+        l1 = self.l1[sm_id]
+        for line in lines:
+            if not bypass_l1 and l1.access(line):
+                self.stats.l1_hits += 1
+                done = now + cfg.l1_hit_latency
+            else:
+                if not bypass_l1:
+                    self.stats.l1_misses += 1
+                done = self._l2_latency(line, now + cfg.l1_hit_latency)
+            completion = max(completion, done)
+        n_tx = len(lines)
+        self.stats.load_transactions += n_tx
+        self._classify(n_tx, sync)
+        return MemoryAccessResult(completion, n_tx)
+
+    def store(self, sm_id: int, addresses: np.ndarray, now: int,
+              sync: bool = False) -> MemoryAccessResult:
+        """Write-through, no-allocate store; evicts the local L1 lines."""
+        cfg = self.config
+        lines = coalesce(addresses, cfg.l1d.line_bytes)
+        completion = now
+        l1 = self.l1[sm_id]
+        for line in lines:
+            l1.invalidate(line)
+            done = self._l2_latency(line, now)
+            completion = max(completion, done)
+        n_tx = len(lines)
+        self.stats.store_transactions += n_tx
+        self._classify(n_tx, sync)
+        return MemoryAccessResult(completion, n_tx)
+
+    def atomic(self, sm_id: int, addresses: np.ndarray, now: int,
+               sync: bool = True) -> MemoryAccessResult:
+        """Atomic RMW: bypasses L1, serialized per unique address at L2."""
+        cfg = self.config
+        unique = np.unique(np.asarray(addresses, dtype=np.int64))
+        completion = now
+        l1 = self.l1[sm_id]
+        for addr in unique:
+            line = int(addr) // cfg.l1d.line_bytes * cfg.l1d.line_bytes
+            l1.invalidate(line)
+            done = self._l2_latency(
+                line, now, service=cfg.atomic_service_interval
+            ) + cfg.atomic_latency
+            completion = max(completion, done)
+        n_tx = int(unique.size)
+        self.stats.atomic_transactions += n_tx
+        self._classify(n_tx, sync)
+        return MemoryAccessResult(completion, n_tx)
+
+    def next_event_after(self, now: int) -> Optional[int]:
+        """Earliest queued-resource free time after ``now`` (fast-forward)."""
+        candidates = [t for t in self._bank_free if t > now]
+        if self._dram_free > now:
+            candidates.append(self._dram_free)
+        return min(candidates) if candidates else None

@@ -1,0 +1,5 @@
+"""Measurement layer: simulation statistics and derived metrics."""
+
+from repro.metrics.stats import LockStats, SimStats
+
+__all__ = ["LockStats", "SimStats"]

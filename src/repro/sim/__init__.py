@@ -1,0 +1,14 @@
+"""Cycle-level SIMT GPU simulator substrate.
+
+The pipeline abstraction is deliberately GPGPU-Sim-shaped: per-SM warp
+schedulers issue at most one instruction per scheduler per cycle from
+ready warps; a per-warp scoreboard enforces data hazards; a stack-based
+SIMT reconvergence unit handles divergence; loads/stores/atomics flow
+through a coalescer into L1/L2/DRAM timing models.
+
+Import submodules directly (``repro.sim.gpu``, ``repro.sim.config``,
+``repro.sim.schedulers``); this package init stays import-light because
+``repro.core`` depends on ``repro.sim.config`` while ``repro.sim.sm``
+depends on ``repro.core`` — eager re-exports here would close an import
+cycle.
+"""

@@ -1,0 +1,96 @@
+"""Vectorized functional evaluation of ALU and compare operations.
+
+These helpers are pure: they read operand lane-vectors and produce result
+lane-vectors.  All sequencing, masking, and timing live in the SM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.isa.instructions import Imm, Mem, Opcode, Operand, Param, Pred, Reg, Sreg
+from repro.sim.registers import wrap_i32
+from repro.sim.warp import Warp
+
+
+def read_operand(warp: Warp, operand: Operand,
+                 params: Dict[str, int]) -> np.ndarray:
+    """Lane vector of ``operand``'s value."""
+    if isinstance(operand, Reg):
+        return warp.regs.read(operand.name)
+    if isinstance(operand, Imm):
+        return np.full(warp.regs.warp_size, operand.value, dtype=np.int64)
+    if isinstance(operand, Sreg):
+        return warp.sregs[operand.name]
+    if isinstance(operand, Pred):
+        return warp.regs.read_pred(operand.name).astype(np.int64)
+    if isinstance(operand, Param):
+        return np.full(warp.regs.warp_size, params[operand.name], dtype=np.int64)
+    raise TypeError(f"cannot read operand {operand!r}")
+
+
+def effective_addresses(warp: Warp, mem: Mem) -> np.ndarray:
+    """Per-lane byte addresses of a ``[base + offset]`` operand."""
+    return warp.regs.read(mem.base.name) + np.int64(mem.offset)
+
+
+def eval_alu(opcode: Opcode, srcs: Sequence[np.ndarray]) -> np.ndarray:
+    """Evaluate an ALU opcode over lane vectors (32-bit wrapped)."""
+    if opcode is Opcode.MOV:
+        result = srcs[0]
+    elif opcode is Opcode.ADD:
+        result = srcs[0] + srcs[1]
+    elif opcode is Opcode.SUB:
+        result = srcs[0] - srcs[1]
+    elif opcode is Opcode.MUL:
+        result = srcs[0] * srcs[1]
+    elif opcode is Opcode.MAD:
+        result = srcs[0] * srcs[1] + srcs[2]
+    elif opcode is Opcode.DIV:
+        divisor = np.where(srcs[1] == 0, 1, srcs[1])
+        result = np.where(srcs[1] == 0, 0,
+                          np.fix(srcs[0] / divisor).astype(np.int64))
+    elif opcode is Opcode.REM:
+        divisor = np.where(srcs[1] == 0, 1, srcs[1])
+        quotient = np.fix(srcs[0] / divisor).astype(np.int64)
+        result = np.where(srcs[1] == 0, srcs[0], srcs[0] - quotient * divisor)
+    elif opcode is Opcode.AND:
+        result = np.bitwise_and(srcs[0], srcs[1])
+    elif opcode is Opcode.OR:
+        result = np.bitwise_or(srcs[0], srcs[1])
+    elif opcode is Opcode.XOR:
+        result = np.bitwise_xor(srcs[0], srcs[1])
+    elif opcode is Opcode.NOT:
+        result = np.bitwise_not(srcs[0])
+    elif opcode is Opcode.SHL:
+        shift = np.clip(srcs[1], 0, 31)
+        result = np.left_shift(srcs[0], shift)
+    elif opcode is Opcode.SHR:
+        shift = np.clip(srcs[1], 0, 31)
+        result = np.right_shift(srcs[0], shift)
+    elif opcode is Opcode.MIN:
+        result = np.minimum(srcs[0], srcs[1])
+    elif opcode is Opcode.MAX:
+        result = np.maximum(srcs[0], srcs[1])
+    else:
+        raise ValueError(f"not an ALU opcode: {opcode}")
+    return wrap_i32(np.asarray(result, dtype=np.int64))
+
+
+def eval_cmp(cmp: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Evaluate a ``setp`` comparison, producing a boolean lane vector."""
+    if cmp == "eq":
+        return a == b
+    if cmp == "ne":
+        return a != b
+    if cmp == "lt":
+        return a < b
+    if cmp == "le":
+        return a <= b
+    if cmp == "gt":
+        return a > b
+    if cmp == "ge":
+        return a >= b
+    raise ValueError(f"unknown comparison {cmp!r}")

@@ -1,0 +1,191 @@
+"""Top-level GPU: kernel launch, CTA dispatch, and the simulation loop.
+
+The loop steps all SMs one cycle at a time; whenever no SM can issue, it
+fast-forwards directly to the earliest cycle at which any warp might
+become ready (a memory writeback, a fence completing, a BOWS back-off
+delay expiring).  Fast-forwarding is purely a host-performance
+optimization: per-cycle accounting (occupancy sampling, CAWA stall
+charging) is weighted by the skipped interval, so results are identical
+to stepping every cycle.
+
+If no warp can ever become ready again the workload has deadlocked; the
+simulator raises :class:`SimulationDeadlock` with per-warp diagnostics —
+this is exactly how SIMT-induced deadlocks (paper Section IV) manifest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.energy.model import EnergyModel
+from repro.isa.program import Program
+from repro.memory.memsys import GlobalMemory, MemorySubsystem
+from repro.metrics.stats import SimStats
+from repro.sim.config import GPUConfig
+from repro.sim.sm import SM, WarpKey
+
+
+class SimulationDeadlock(RuntimeError):
+    """No warp can ever become ready again (e.g. SIMT-induced deadlock)."""
+
+
+class SimulationTimeout(RuntimeError):
+    """The run exceeded ``config.max_cycles``."""
+
+
+@dataclass
+class KernelLaunch:
+    """A kernel invocation: program, grid geometry, scalar parameters."""
+
+    program: Program
+    grid_dim: int
+    block_dim: int
+    params: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.grid_dim <= 0 or self.block_dim <= 0:
+            raise ValueError("grid and block dimensions must be positive")
+
+
+@dataclass
+class SimResult:
+    """Outcome of one kernel execution."""
+
+    stats: SimStats
+    cycles: int
+    memory: GlobalMemory
+    config: GPUConfig
+    launch: KernelLaunch
+    sms: List[SM]
+
+    @property
+    def ddos_engines(self):
+        return [sm.ddos for sm in self.sms if sm.ddos is not None]
+
+    def predicted_sibs(self) -> set:
+        """Union of SIB predictions across all SMs' DDOS engines."""
+        predicted = set()
+        for engine in self.ddos_engines:
+            predicted |= engine.predicted_sibs()
+        return predicted
+
+
+class GPU:
+    """A multi-SM GPU instance bound to one global-memory image."""
+
+    def __init__(self, config: GPUConfig,
+                 memory: Optional[GlobalMemory] = None,
+                 tracer=None) -> None:
+        self.config = config
+        self.memory = memory if memory is not None else GlobalMemory()
+        #: Optional :class:`repro.sim.trace.Tracer` capturing issues.
+        self.tracer = tracer
+
+    def launch(self, launch: KernelLaunch) -> SimResult:
+        """Run ``launch`` to completion and return statistics."""
+        config = self.config
+        stats = SimStats()
+        memsys = MemorySubsystem(config)
+        lock_table: Dict[int, Tuple[WarpKey, int]] = {}
+        sms = [
+            SM(
+                sm_id=i,
+                config=config,
+                program=launch.program,
+                params=launch.params,
+                memory=self.memory,
+                memsys=memsys,
+                lock_table=lock_table,
+                stats=stats,
+                tracer=self.tracer,
+            )
+            for i in range(config.num_sms)
+        ]
+
+        warp_size = config.warp_size
+        warps_per_cta = -(-launch.block_dim // warp_size)
+        if warps_per_cta > config.max_warps_per_sm:
+            raise ValueError(
+                f"CTA of {launch.block_dim} threads needs {warps_per_cta} "
+                f"warps; SM holds only {config.max_warps_per_sm}"
+            )
+
+        next_cta = 0
+        age_counter = 0
+
+        def dispatch() -> None:
+            nonlocal next_cta, age_counter
+            for sm in sms:
+                while (
+                    next_cta < launch.grid_dim
+                    and sm.can_accept_cta(warps_per_cta)
+                ):
+                    sm.launch_cta(
+                        cta_id=next_cta,
+                        warps_per_cta=warps_per_cta,
+                        cta_dim=launch.block_dim,
+                        grid_dim=launch.grid_dim,
+                        age_base=age_counter,
+                    )
+                    next_cta += 1
+                    age_counter += warps_per_cta
+
+        dispatch()
+        now = 0
+        while True:
+            issued = 0
+            for sm in sms:
+                issued += sm.step(now)
+            if next_cta < launch.grid_dim:
+                dispatch()  # refill any SM that freed CTA slots
+            if next_cta >= launch.grid_dim and all(sm.idle for sm in sms):
+                break
+            if now >= config.max_cycles:
+                raise SimulationTimeout(
+                    f"kernel {launch.program.name!r} exceeded "
+                    f"{config.max_cycles} cycles"
+                )
+            if issued:
+                next_now = now + 1
+            else:
+                events = [sm.next_event(now) for sm in sms]
+                events = [e for e in events if e is not None]
+                if not events:
+                    raise SimulationDeadlock(self._deadlock_report(sms, now))
+                next_now = min(events)
+            dt = next_now - now
+            for sm in sms:
+                sm.accumulate_occupancy(dt)
+            now = next_now
+
+        stats.cycles = now
+        stats.memory.merge(memsys.stats)
+        energy = EnergyModel(num_sms=config.num_sms).evaluate(stats)
+        stats.dynamic_energy_pj = energy.total_pj
+        return SimResult(
+            stats=stats,
+            cycles=now,
+            memory=self.memory,
+            config=config,
+            launch=launch,
+            sms=sms,
+        )
+
+    @staticmethod
+    def _deadlock_report(sms: List[SM], now: int) -> str:
+        lines = [f"simulation deadlocked at cycle {now}; warp states:"]
+        for sm in sms:
+            for slot, warp in sorted(sm.warps.items()):
+                if warp.finished:
+                    continue
+                state = "barrier" if warp.at_barrier else f"pc={warp.pc}"
+                lines.append(
+                    f"  SM{sm.sm_id} slot {slot} cta {warp.cta_id}: {state}"
+                )
+        lines.append(
+            "hint: a warp blocked forever at a barrier or reconvergence "
+            "point usually indicates a SIMT-induced deadlock "
+            "(paper Section IV)"
+        )
+        return "\n".join(lines)

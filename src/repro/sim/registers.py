@@ -1,0 +1,59 @@
+"""Per-warp vector register file.
+
+Each architectural register holds one 32-bit value per lane; values are
+stored as ``numpy.int64`` lane vectors and wrapped to signed 32-bit on
+write, so ALU semantics match PTX ``.s32``/``.b32`` arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+import numpy as np
+
+_INT32_MASK = np.int64(0xFFFFFFFF)
+_SIGN_BIT = np.int64(0x80000000)
+
+
+def wrap_i32(values: np.ndarray) -> np.ndarray:
+    """Wrap int64 lane values to signed 32-bit two's complement."""
+    wrapped = np.bitwise_and(values.astype(np.int64), _INT32_MASK)
+    return np.where(
+        np.bitwise_and(wrapped, _SIGN_BIT) != 0,
+        wrapped - np.int64(1 << 32),
+        wrapped,
+    )
+
+
+class RegisterFile:
+    """Vector registers and predicate registers for one warp."""
+
+    def __init__(self, warp_size: int, reg_names: Iterable[str],
+                 pred_names: Iterable[str]) -> None:
+        self.warp_size = warp_size
+        self._regs: Dict[str, np.ndarray] = {
+            name: np.zeros(warp_size, dtype=np.int64) for name in reg_names
+        }
+        self._preds: Dict[str, np.ndarray] = {
+            name: np.zeros(warp_size, dtype=bool) for name in pred_names
+        }
+
+    def read(self, name: str) -> np.ndarray:
+        """Lane vector for register ``name`` (do not mutate)."""
+        return self._regs[name]
+
+    def write(self, name: str, values: np.ndarray, mask: np.ndarray) -> None:
+        """Write ``values`` into lanes selected by ``mask``."""
+        reg = self._regs[name]
+        reg[mask] = wrap_i32(np.asarray(values, dtype=np.int64))[mask]
+
+    def read_pred(self, name: str) -> np.ndarray:
+        return self._preds[name]
+
+    def write_pred(self, name: str, values: np.ndarray,
+                   mask: np.ndarray) -> None:
+        pred = self._preds[name]
+        pred[mask] = np.asarray(values, dtype=bool)[mask]
+
+    def register_names(self) -> Iterable[str]:
+        return self._regs.keys()

@@ -1,0 +1,137 @@
+"""Baseline warp-scheduling policies: LRR, GTO, CAWA (paper Section II).
+
+Each SM owns ``num_schedulers_per_sm`` scheduler instances; resident warps
+are partitioned among them by warp slot (as on real hardware, a warp is
+pinned to one scheduler).  Every cycle each scheduler picks at most one
+ready warp to issue.
+
+BOWS is deliberately *not* a scheduler subclass: per the paper it extends
+any existing policy.  The SM first asks the base policy to choose among
+ready, non-backed-off warps; only when none exists does it consult the
+BOWS backed-off queue (:meth:`repro.core.bows.BOWSUnit.select_backed_off`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.sim.config import GPUConfig
+from repro.sim.warp import Warp
+
+
+class WarpScheduler:
+    """Base class: a priority-ordering policy over one scheduler's warps."""
+
+    #: Registry name; subclasses override.
+    name = "base"
+
+    def __init__(self, config: GPUConfig, slots: List[int]) -> None:
+        self.config = config
+        self.slots = list(slots)
+        self.last_issued: Optional[int] = None
+
+    def select(self, ready: Set[int], warps: Dict[int, Warp],
+               now: int) -> Optional[int]:
+        """Pick a warp slot from ``ready`` (subset of ``self.slots``)."""
+        raise NotImplementedError
+
+    def notify_issue(self, slot: int, now: int) -> None:
+        self.last_issued = slot
+
+
+class LRRScheduler(WarpScheduler):
+    """Loose round-robin: rotate through warps, skipping unready ones."""
+
+    name = "lrr"
+
+    def __init__(self, config: GPUConfig, slots: List[int]) -> None:
+        super().__init__(config, slots)
+        self._pointer = 0
+
+    def select(self, ready: Set[int], warps: Dict[int, Warp],
+               now: int) -> Optional[int]:
+        n = len(self.slots)
+        for i in range(n):
+            slot = self.slots[(self._pointer + i) % n]
+            if slot in ready:
+                return slot
+        return None
+
+    def notify_issue(self, slot: int, now: int) -> None:
+        super().notify_issue(slot, now)
+        # Advance past the issued warp so its peers get the next turns.
+        self._pointer = (self.slots.index(slot) + 1) % len(self.slots)
+
+
+class GTOScheduler(WarpScheduler):
+    """Greedy-then-oldest with periodic age-priority rotation.
+
+    Strict GTO can livelock spin-lock code (a spinning warp stays
+    greedily scheduled while the lock holder starves); following the
+    paper (Section IV-C) the age priority is rotated every
+    ``gto_rotation_period`` cycles.
+    """
+
+    name = "gto"
+
+    def select(self, ready: Set[int], warps: Dict[int, Warp],
+               now: int) -> Optional[int]:
+        if self.last_issued is not None and self.last_issued in ready:
+            return self.last_issued
+        order = self.priority_order(warps, now)
+        for slot in order:
+            if slot in ready:
+                return slot
+        return None
+
+    def priority_order(self, warps: Dict[int, Warp], now: int) -> List[int]:
+        """Oldest-first order, rotated every rotation period."""
+        by_age = sorted(
+            (slot for slot in self.slots if slot in warps),
+            key=lambda s: warps[s].age,
+        )
+        if not by_age:
+            return []
+        period = self.config.gto_rotation_period
+        rotation = (now // period) % len(by_age) if period > 0 else 0
+        return by_age[rotation:] + by_age[:rotation]
+
+
+class CAWAScheduler(WarpScheduler):
+    """Criticality-aware: always issue the most critical ready warp."""
+
+    name = "cawa"
+
+    def select(self, ready: Set[int], warps: Dict[int, Warp],
+               now: int) -> Optional[int]:
+        best: Optional[int] = None
+        best_crit = float("-inf")
+        for slot in self.slots:
+            if slot not in ready:
+                continue
+            crit = warps[slot].criticality
+            if crit > best_crit:
+                best_crit = crit
+                best = slot
+        return best
+
+
+_SCHEDULERS = {
+    cls.name: cls for cls in (LRRScheduler, GTOScheduler, CAWAScheduler)
+}
+
+
+def make_scheduler(name: str, config: GPUConfig,
+                   slots: List[int]) -> WarpScheduler:
+    """Instantiate a scheduler policy by name (``lrr``/``gto``/``cawa``)."""
+    try:
+        cls = _SCHEDULERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; choose from {sorted(_SCHEDULERS)}"
+        ) from None
+    return cls(config, slots)
+
+
+def scheduler_names() -> List[str]:
+    return sorted(_SCHEDULERS)

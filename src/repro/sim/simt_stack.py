@@ -1,0 +1,173 @@
+"""Stack-based SIMT reconvergence (pre-Volta semantics).
+
+Each warp owns a stack of ``(pc, rpc, active_mask)`` entries.  The top of
+stack (TOS) determines the next PC and which lanes execute.  On a divergent
+conditional branch the TOS becomes the reconvergence entry (its PC is set
+to the branch's immediate post-dominator) and one entry per divergent path
+is pushed.  When a pushed entry's PC reaches its RPC it is popped, lanes
+re-merge, and execution resumes below.
+
+This faithfully reproduces the behaviour the paper depends on: lanes that
+exit a spin loop *wait at the reconvergence point* for their warp-mates
+still spinning, which is why intra-warp lock handoff must be written with
+the "done flag" pattern of Figure 1a (otherwise: SIMT-induced deadlock,
+Section IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.isa.program import RECONVERGE_AT_EXIT
+
+#: RPC value for the base stack entry: only "reconverges" at thread exit.
+_NO_RPC = -1
+
+
+@dataclass
+class StackEntry:
+    pc: int
+    rpc: int
+    mask: np.ndarray  # bool[warp_size]
+
+    def clone(self) -> "StackEntry":
+        return StackEntry(self.pc, self.rpc, self.mask.copy())
+
+
+class SIMTStack:
+    """Per-warp reconvergence stack."""
+
+    def __init__(self, warp_size: int, start_pc: int = 0,
+                 initial_mask: Optional[np.ndarray] = None) -> None:
+        self.warp_size = warp_size
+        if initial_mask is None:
+            initial_mask = np.ones(warp_size, dtype=bool)
+        else:
+            initial_mask = np.asarray(initial_mask, dtype=bool).copy()
+        self._stack: List[StackEntry] = [
+            StackEntry(start_pc, _NO_RPC, initial_mask)
+        ]
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    @property
+    def finished(self) -> bool:
+        return not self._stack
+
+    @property
+    def pc(self) -> int:
+        return self._stack[-1].pc
+
+    @property
+    def active_mask(self) -> np.ndarray:
+        """Boolean lane mask of the TOS entry (do not mutate)."""
+        return self._stack[-1].mask
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def live_mask(self) -> np.ndarray:
+        """Union of all entries' masks: lanes that have not exited."""
+        live = np.zeros(self.warp_size, dtype=bool)
+        for entry in self._stack:
+            np.logical_or(live, entry.mask, out=live)
+        return live
+
+    def entries(self) -> List[StackEntry]:
+        """Copy of the stack, bottom first (for inspection/tests)."""
+        return [e.clone() for e in self._stack]
+
+    # ------------------------------------------------------------------
+    # Updates
+
+    def advance(self) -> None:
+        """Move the TOS past a non-branch instruction (pc += 1)."""
+        top = self._stack[-1]
+        top.pc += 1
+        self._maybe_pop()
+
+    def branch(self, taken_mask: np.ndarray, target: int, rpc: int) -> bool:
+        """Apply a (possibly divergent) conditional branch at the TOS.
+
+        Args:
+            taken_mask: lanes (within the TOS mask) that take the branch.
+            target: branch target instruction index.
+            rpc: reconvergence index from the program analysis
+                (``RECONVERGE_AT_EXIT`` maps to "never", handled by exit).
+
+        Returns:
+            True when the branch diverged (both paths non-empty).
+        """
+        top = self._stack[-1]
+        active = top.mask
+        taken = np.logical_and(taken_mask, active)
+        fall = np.logical_and(~taken_mask, active)
+        n_taken = int(taken.sum())
+        n_fall = int(fall.sum())
+        fall_pc = top.pc + 1
+
+        if n_taken and not n_fall:
+            top.pc = target
+            self._maybe_pop()
+            return False
+        if n_fall and not n_taken:
+            top.pc = fall_pc
+            self._maybe_pop()
+            return False
+
+        # Divergence: TOS becomes the reconvergence entry.
+        if rpc == RECONVERGE_AT_EXIT:
+            # Paths only meet at exit; model as reconverging "nowhere":
+            # the reconvergence entry keeps the full mask but is only
+            # reached when both children exit (exit() clears their lanes).
+            reconv_pc = _NO_RPC
+        else:
+            reconv_pc = rpc
+        top.pc = reconv_pc
+        # Push fall-through first, taken on top (taken path runs first).
+        # Lane groups already sitting at the reconvergence point are not
+        # pushed; they simply wait in the reconvergence entry.
+        if reconv_pc == _NO_RPC or fall_pc != reconv_pc:
+            self._stack.append(StackEntry(fall_pc, reconv_pc, fall))
+        if reconv_pc == _NO_RPC or target != reconv_pc:
+            self._stack.append(StackEntry(target, reconv_pc, taken))
+        self._maybe_pop()
+        return True
+
+    def uniform_jump(self, target: int) -> None:
+        """Unconditional branch of the whole TOS entry."""
+        self._stack[-1].pc = target
+        self._maybe_pop()
+
+    def exit_lanes(self, mask: np.ndarray) -> None:
+        """Retire ``mask`` lanes (an ``exit`` executed under that mask)."""
+        for entry in self._stack:
+            entry.mask = np.logical_and(entry.mask, ~mask)
+        self._stack = [e for e in self._stack if e.mask.any()]
+        self._maybe_pop()
+
+    # ------------------------------------------------------------------
+
+    def _maybe_pop(self) -> None:
+        """Pop entries whose PC reached their reconvergence point."""
+        while self._stack:
+            top = self._stack[-1]
+            if top.rpc != _NO_RPC and top.pc == top.rpc:
+                self._stack.pop()
+                continue
+            if not top.mask.any():
+                self._stack.pop()
+                continue
+            break
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = [
+            f"(pc={e.pc}, rpc={e.rpc}, n={int(e.mask.sum())})"
+            for e in self._stack
+        ]
+        return f"SIMTStack[{' '.join(parts)}]"

@@ -1,0 +1,542 @@
+"""Streaming multiprocessor: issue arbitration and instruction execution.
+
+Per cycle, each of the SM's warp schedulers issues at most one instruction
+from a ready warp.  Readiness = not finished, not blocked at a barrier or
+memory fence, and the instruction's registers clear the scoreboard.
+
+BOWS arbitration (paper Figure 8) is layered on the base policy:
+
+1. the base policy chooses among ready warps that are *not* backed off
+   (greedy/oldest/criticality per policy);
+2. only if none exists is the backed-off queue consulted, FIFO, and a
+   backed-off warp is eligible only once its pending back-off delay has
+   expired;
+3. a warp leaving the backed-off state reverts to normal priority and its
+   pending delay register restarts.
+
+DDOS hooks: ``setp`` executions update the issuing warp's path/value
+history (profiled thread = first active lane); backward branches consult
+and train the SIB-PT.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.bows import BOWSUnit
+from repro.core.cawa import CAWAPredictor
+from repro.core.ddos import DDOSEngine
+from repro.isa.instructions import Instruction, Mem, Opcode
+from repro.isa.program import Program
+from repro.memory.memsys import GlobalMemory, MemorySubsystem
+from repro.metrics.stats import SimStats
+from repro.sim.config import GPUConfig
+from repro.sim.executor import (
+    effective_addresses,
+    eval_alu,
+    eval_cmp,
+    read_operand,
+)
+from repro.sim.schedulers import make_scheduler
+from repro.sim.warp import Warp
+
+#: Identifies a warp across the whole GPU for lock-holder tracking.
+WarpKey = Tuple[int, int]  # (cta_id, warp_in_cta)
+
+
+class SM:
+    """One streaming multiprocessor."""
+
+    def __init__(
+        self,
+        sm_id: int,
+        config: GPUConfig,
+        program: Program,
+        params: Dict[str, int],
+        memory: GlobalMemory,
+        memsys: MemorySubsystem,
+        lock_table: Dict[int, Tuple[WarpKey, int]],
+        stats: SimStats,
+        tracer=None,
+    ) -> None:
+        self.tracer = tracer
+        self.sm_id = sm_id
+        self.config = config
+        self.program = program
+        self.params = params
+        self.memory = memory
+        self.memsys = memsys
+        self.lock_table = lock_table
+        self.stats = stats
+
+        self.warps: Dict[int, Warp] = {}
+        self._free_slots: List[int] = list(range(config.max_warps_per_sm))
+        self._cta_slots: Dict[int, List[int]] = {}
+        self._barrier_pending: Dict[int, Set[int]] = {}
+
+        n_sched = config.num_schedulers_per_sm
+        self.schedulers = [
+            make_scheduler(
+                config.scheduler,
+                config,
+                [s for s in range(config.max_warps_per_sm) if s % n_sched == i],
+            )
+            for i in range(n_sched)
+        ]
+        self.bows: Optional[BOWSUnit] = (
+            BOWSUnit(config.bows) if config.bows is not None else None
+        )
+        self.ddos: Optional[DDOSEngine] = (
+            DDOSEngine(config.ddos, program, config.max_warps_per_sm)
+            if config.ddos is not None
+            else None
+        )
+        self.cawa: Optional[CAWAPredictor] = (
+            CAWAPredictor() if config.scheduler == "cawa" else None
+        )
+        #: Static SIB annotations, used when BOWS runs without DDOS
+        #: (the paper's "programmer or compiler identified" mode).
+        self._static_sibs = program.true_sibs()
+        self._last_charge = 0
+
+    # ------------------------------------------------------------------
+    # CTA residency
+
+    def can_accept_cta(self, warps_per_cta: int) -> bool:
+        within_cta_limit = len(self._cta_slots) < self.config.max_ctas_per_sm
+        return within_cta_limit and len(self._free_slots) >= warps_per_cta
+
+    def launch_cta(self, cta_id: int, warps_per_cta: int, cta_dim: int,
+                   grid_dim: int, age_base: int) -> None:
+        """Place one CTA's warps into free warp slots."""
+        if not self.can_accept_cta(warps_per_cta):
+            raise RuntimeError(f"SM{self.sm_id} cannot accept CTA {cta_id}")
+        slots = [self._free_slots.pop(0) for _ in range(warps_per_cta)]
+        self._cta_slots[cta_id] = slots
+        for i, slot in enumerate(slots):
+            self.warps[slot] = Warp(
+                program=self.program,
+                warp_slot=slot,
+                sm_id=self.sm_id,
+                cta_id=cta_id,
+                warp_in_cta=i,
+                cta_dim=cta_dim,
+                grid_dim=grid_dim,
+                warp_size=self.config.warp_size,
+                age=age_base + i,
+            )
+            if self.bows is not None:
+                self.bows.on_warp_reset(slot)
+
+    @property
+    def resident_ctas(self) -> int:
+        return len(self._cta_slots)
+
+    @property
+    def idle(self) -> bool:
+        return not self.warps
+
+    # ------------------------------------------------------------------
+    # Per-cycle operation
+
+    def step(self, now: int) -> int:
+        """Let every scheduler try to issue; returns instructions issued."""
+        if self.cawa is not None:
+            self._charge_cawa(now)
+        issued = 0
+        for scheduler in self.schedulers:
+            self.stats.issue_slots += 1
+            ready = {
+                slot
+                for slot in scheduler.slots
+                if slot in self.warps and self._ready(self.warps[slot], now)
+            }
+            if not ready:
+                continue
+            if self.bows is not None:
+                normal = {
+                    slot for slot in ready if not self.warps[slot].backed_off
+                }
+                slot = scheduler.select(normal, self.warps, now)
+                if slot is None:
+                    slot = self.bows.select_backed_off(ready, now, self.warps)
+            else:
+                slot = scheduler.select(ready, self.warps, now)
+            if slot is None:
+                continue
+            warp = self.warps[slot]
+            self._issue(warp, now)
+            scheduler.notify_issue(slot, now)
+            self.stats.issued_slots += 1
+            issued += 1
+            if warp.finished:
+                # A finished warp never blocks its CTA's barrier: its
+                # exit may release warp-mates already waiting there.
+                self._barrier_arrive(warp.cta_id)
+                self._retire_if_cta_done(warp.cta_id)
+        return issued
+
+    def _ready(self, warp: Warp, now: int) -> bool:
+        if warp.finished or warp.at_barrier:
+            return False
+        if warp.membar_until > now:
+            return False
+        instr = warp.current_instruction()
+        return warp.scoreboard.ready(warp.hazard_names(instr), now)
+
+    def next_event(self, now: int) -> Optional[int]:
+        """Earliest cycle after ``now`` when some warp may become ready."""
+        best: Optional[int] = None
+
+        def consider(t: Optional[int]) -> None:
+            nonlocal best
+            if t is not None and t > now and (best is None or t < best):
+                best = t
+
+        for warp in self.warps.values():
+            if warp.finished or warp.at_barrier:
+                continue
+            if warp.membar_until > now:
+                consider(warp.membar_until)
+                continue
+            instr = warp.current_instruction()
+            release = warp.scoreboard.next_release(
+                warp.hazard_names(instr), now
+            )
+            if release is not None:
+                consider(release)
+                continue
+            # Ready except (possibly) for its BOWS pending delay.
+            if warp.backed_off and warp.pending_delay_until > now:
+                consider(warp.pending_delay_until)
+            else:
+                consider(now + 1)
+        return best
+
+    def accumulate_occupancy(self, dt: float) -> None:
+        """Weight the current backed-off/live warp counts by ``dt`` cycles."""
+        live = sum(1 for w in self.warps.values() if not w.finished)
+        backed = sum(
+            1 for w in self.warps.values()
+            if not w.finished and w.backed_off
+        )
+        self.stats.resident_warp_cycles += dt * live
+        self.stats.backed_off_warp_cycles += dt * backed
+
+    # ------------------------------------------------------------------
+    # Issue / execute
+
+    def _issue(self, warp: Warp, now: int) -> None:
+        instr = warp.current_instruction()
+        exec_mask = warp.exec_mask(instr)
+        n_exec = int(exec_mask.sum())
+        is_sib = self._is_sib(instr)
+        if self.tracer is not None:
+            self.tracer.record(now, warp, instr, n_exec)
+
+        # Bookkeeping common to all instructions.
+        stats = self.stats
+        stats.warp_instructions += 1
+        stats.thread_instructions += n_exec
+        stats.active_lane_sum += n_exec
+        if instr.has_role("sync"):
+            stats.sync_thread_instructions += n_exec
+        else:
+            stats.useful_thread_instructions += n_exec
+        if is_sib:
+            stats.sib_warp_instructions += 1
+            stats.sib_thread_instructions += n_exec
+        warp.issued_instructions += 1
+        warp.thread_instructions += n_exec
+        if self.cawa is not None:
+            self.cawa.on_issue(warp, instr, now)
+        if self.bows is not None:
+            self.bows.on_issue(
+                warp, now, is_sib,
+                is_store=instr.opcode is Opcode.ST_GLOBAL,
+            )
+
+        op = instr.opcode
+        if op is Opcode.BRA:
+            self._execute_branch(warp, instr, exec_mask, now)
+        elif op is Opcode.EXIT:
+            self._execute_exit(warp, instr, exec_mask)
+        elif op is Opcode.SETP:
+            self._execute_setp(warp, instr, exec_mask, now)
+        elif op is Opcode.BAR_SYNC:
+            warp.stack.advance()
+            warp.at_barrier = True
+            stats.barrier_waits += 1
+            self._barrier_arrive(warp.cta_id)
+        elif op is Opcode.MEMBAR:
+            warp.membar_until = max(now + 1, warp.last_store_completion)
+            warp.stack.advance()
+        elif op is Opcode.CLOCK:
+            values = np.full(self.config.warp_size, now, dtype=np.int64)
+            warp.regs.write(instr.dst.name, values, exec_mask)
+            self._reserve(warp, instr, now + self.config.alu_latency)
+            warp.stack.advance()
+        elif op is Opcode.LD_PARAM:
+            value = self.params[instr.srcs[0].name]
+            values = np.full(self.config.warp_size, value, dtype=np.int64)
+            warp.regs.write(instr.dst.name, values, exec_mask)
+            self._reserve(warp, instr, now + self.config.alu_latency)
+            warp.stack.advance()
+        elif op in (Opcode.LD_GLOBAL, Opcode.LD_GLOBAL_CG):
+            self._execute_load(warp, instr, exec_mask, now)
+        elif op is Opcode.ST_GLOBAL:
+            self._execute_store(warp, instr, exec_mask, now)
+        elif instr.is_atomic:
+            self._execute_atomic(warp, instr, exec_mask, now)
+            stats.atomic_warp_instructions += 1
+        elif op is Opcode.NOP:
+            warp.stack.advance()
+        else:
+            self._execute_alu(warp, instr, exec_mask, now)
+
+    # -- straight-line ops ---------------------------------------------
+
+    def _execute_alu(self, warp: Warp, instr: Instruction,
+                     exec_mask: np.ndarray, now: int) -> None:
+        if instr.opcode is Opcode.SELP:
+            a = read_operand(warp, instr.srcs[0], self.params)
+            b = read_operand(warp, instr.srcs[1], self.params)
+            pred = warp.regs.read_pred(instr.srcs[2].name)
+            result = np.where(pred, a, b)
+        else:
+            srcs = [read_operand(warp, s, self.params) for s in instr.srcs]
+            result = eval_alu(instr.opcode, srcs)
+        warp.regs.write(instr.dst.name, result, exec_mask)
+        latency = self.config.alu_latency
+        if instr.opcode in (Opcode.MUL, Opcode.MAD, Opcode.DIV, Opcode.REM):
+            latency = self.config.sfu_latency
+        self._reserve(warp, instr, now + latency)
+        warp.stack.advance()
+
+    def _execute_setp(self, warp: Warp, instr: Instruction,
+                      exec_mask: np.ndarray, now: int) -> None:
+        a = read_operand(warp, instr.srcs[0], self.params)
+        b = read_operand(warp, instr.srcs[1], self.params)
+        result = eval_cmp(instr.cmp, a, b)
+        warp.regs.write_pred(instr.dst.name, result, exec_mask)
+        self._reserve(warp, instr, now + self.config.alu_latency)
+        # DDOS profiles one fixed thread per warp (the first live lane);
+        # setp executions that do not include it leave the history
+        # registers untouched, exactly as a per-thread tracker would.
+        lane = warp.profiled_lane
+        if self.ddos is not None and lane >= 0 and exec_mask[lane]:
+            self.ddos.on_setp(
+                warp.warp_slot, instr, int(a[lane]), int(b[lane]), now
+            )
+        warp.stack.advance()
+
+    # -- control flow ----------------------------------------------------
+
+    def _execute_branch(self, warp: Warp, instr: Instruction,
+                        exec_mask: np.ndarray, now: int) -> None:
+        assert instr.target_index is not None
+        active = warp.stack.active_mask
+        if instr.guard is None:
+            taken_mask = active.copy()
+            warp.stack.uniform_jump(instr.target_index)
+        else:
+            guard = warp.regs.read_pred(instr.guard.name)
+            if instr.guard_negated:
+                guard = ~guard
+            taken_mask = np.logical_and(guard, active)
+            rpc = self.program.reconvergence_point(instr.index)
+            warp.stack.branch(guard, instr.target_index, rpc)
+        taken_any = bool(taken_mask.any())
+        n_taken = int(taken_mask.sum())
+        n_not_taken = int(active.sum()) - n_taken
+
+        if instr.has_role("wait_branch"):
+            # Backward branch of a wait/signal loop: lanes that take it
+            # failed to observe the signal this iteration.
+            self.stats.locks.wait_exit_fail += n_taken
+            self.stats.locks.wait_exit_success += n_not_taken
+
+        if self.ddos is not None and instr.is_backward_branch:
+            self.ddos.on_backward_branch(
+                warp.warp_slot, instr, taken_any, now
+            )
+        if self.cawa is not None:
+            self.cawa.on_branch(warp, instr, taken_any)
+        if (
+            self.bows is not None
+            and taken_any
+            and self._is_sib(instr)
+        ):
+            self.bows.on_sib_executed(warp, now)
+
+    def _execute_exit(self, warp: Warp, instr: Instruction,
+                      exec_mask: np.ndarray) -> None:
+        if exec_mask.any():
+            warp.stack.exit_lanes(exec_mask)
+            warp.refresh_profiled_lane()
+        if not warp.finished and warp.stack.pc == instr.index:
+            # Guarded exit: surviving lanes continue past it.
+            warp.stack.advance()
+
+    # -- memory ----------------------------------------------------------
+
+    def _execute_load(self, warp: Warp, instr: Instruction,
+                      exec_mask: np.ndarray, now: int) -> None:
+        mem_op = instr.srcs[0]
+        addrs = effective_addresses(warp, mem_op)
+        active_addrs = addrs[exec_mask]
+        values = np.zeros(self.config.warp_size, dtype=np.int64)
+        if active_addrs.size:
+            values[exec_mask] = self.memory.read(active_addrs)
+        warp.regs.write(instr.dst.name, values, exec_mask)
+        bypass = instr.opcode is Opcode.LD_GLOBAL_CG
+        result = self.memsys.load(
+            self.sm_id, active_addrs, now,
+            bypass_l1=bypass, sync=instr.has_role("sync"),
+        )
+        self._reserve(warp, instr, result.completion)
+        warp.stack.advance()
+
+    def _execute_store(self, warp: Warp, instr: Instruction,
+                       exec_mask: np.ndarray, now: int) -> None:
+        mem_op = instr.dst
+        addrs = effective_addresses(warp, mem_op)
+        values = read_operand(warp, instr.srcs[0], self.params)
+        active_addrs = addrs[exec_mask]
+        if active_addrs.size:
+            self.memory.write(active_addrs, values[exec_mask])
+        result = self.memsys.store(
+            self.sm_id, active_addrs, now, sync=instr.has_role("sync")
+        )
+        warp.last_store_completion = max(
+            warp.last_store_completion, result.completion
+        )
+        if instr.has_role("lock_release"):
+            for addr in active_addrs:
+                self.lock_table.pop(int(addr), None)
+        warp.stack.advance()
+
+    def _execute_atomic(self, warp: Warp, instr: Instruction,
+                        exec_mask: np.ndarray, now: int) -> None:
+        mem_op = instr.srcs[0]
+        addrs = effective_addresses(warp, mem_op)
+        operands = [
+            read_operand(warp, s, self.params) for s in instr.srcs[1:]
+        ]
+        old_values = np.zeros(self.config.warp_size, dtype=np.int64)
+        warp_key: WarpKey = (warp.cta_id, warp.warp_in_cta)
+        is_lock_try = instr.has_role("lock_try")
+        magic = self.config.magic_locks and is_lock_try
+        for lane in np.nonzero(exec_mask)[0]:
+            addr = int(addrs[lane])
+            old = self.memory.read_word(addr)
+            op = instr.opcode
+            if op is Opcode.ATOM_CAS:
+                compare = int(operands[0][lane])
+                new = int(operands[1][lane])
+                if magic:
+                    # Ideal-blocking proxy: every acquire succeeds at
+                    # once and the lock is never observed held.
+                    old = compare
+                elif old == compare:
+                    self.memory.write_word(addr, new)
+            elif op is Opcode.ATOM_EXCH:
+                self.memory.write_word(addr, int(operands[0][lane]))
+            elif op is Opcode.ATOM_ADD:
+                self.memory.write_word(addr, old + int(operands[0][lane]))
+            elif op is Opcode.ATOM_MIN:
+                self.memory.write_word(addr, min(old, int(operands[0][lane])))
+            elif op is Opcode.ATOM_MAX:
+                self.memory.write_word(addr, max(old, int(operands[0][lane])))
+            else:  # pragma: no cover - enum is exhaustive
+                raise ValueError(f"unhandled atomic {op}")
+            old_values[lane] = old
+
+            if is_lock_try and instr.opcode is Opcode.ATOM_CAS:
+                self._record_lock_attempt(
+                    addr, old == int(operands[0][lane]) or magic,
+                    warp_key, int(lane),
+                )
+            if instr.has_role("lock_release"):
+                self.lock_table.pop(addr, None)
+
+        if instr.dst is not None:
+            warp.regs.write(instr.dst.name, old_values, exec_mask)
+        result = self.memsys.atomic(
+            self.sm_id, addrs[exec_mask], now,
+            sync=instr.has_role("sync") or is_lock_try,
+        )
+        if instr.dst is not None:
+            self._reserve(warp, instr, result.completion)
+        warp.stack.advance()
+
+    def _record_lock_attempt(self, addr: int, success: bool,
+                             warp_key: WarpKey, lane: int) -> None:
+        locks = self.stats.locks
+        if success:
+            locks.lock_success += 1
+            self.lock_table[addr] = (warp_key, lane)
+        else:
+            holder = self.lock_table.get(addr)
+            if holder is not None and holder[0] == warp_key:
+                locks.intra_warp_fail += 1
+            else:
+                locks.inter_warp_fail += 1
+
+    # ------------------------------------------------------------------
+    # Helpers
+
+    def _reserve(self, warp: Warp, instr: Instruction,
+                 release_cycle: int) -> None:
+        name = warp.dst_name(instr)
+        if name is not None:
+            warp.scoreboard.reserve([name], release_cycle)
+
+    def _is_sib(self, instr: Instruction) -> bool:
+        """Is this branch currently identified as spin-inducing?"""
+        if not instr.is_branch:
+            return False
+        if self.ddos is not None:
+            return self.ddos.is_sib(instr.index)
+        if self.bows is not None:
+            # Programmer/compiler annotation mode.
+            return instr.index in self._static_sibs
+        return False
+
+    def _barrier_arrive(self, cta_id: int) -> None:
+        slots = self._cta_slots.get(cta_id, [])
+        waiting = [
+            self.warps[s] for s in slots if not self.warps[s].finished
+        ]
+        if waiting and all(w.at_barrier for w in waiting):
+            for w in waiting:
+                w.at_barrier = False
+
+    def _retire_if_cta_done(self, cta_id: int) -> None:
+        slots = self._cta_slots.get(cta_id)
+        if slots is None:
+            return
+        if all(self.warps[s].finished for s in slots):
+            # A finished warp can never block a barrier.
+            self._barrier_arrive(cta_id)
+            for slot in slots:
+                del self.warps[slot]
+                if self.bows is not None:
+                    self.bows.on_warp_reset(slot)
+            del self._cta_slots[cta_id]
+            self._free_slots.extend(slots)
+            self._free_slots.sort()
+
+    def _charge_cawa(self, now: int) -> None:
+        dt = now - self._last_charge
+        if dt <= 0:
+            return
+        self._last_charge = now
+        for warp in self.warps.values():
+            if warp.finished:
+                continue
+            warp.cawa_cycles += dt
+            if not self._ready(warp, now):
+                warp.cawa_nstall += dt

@@ -1,0 +1,91 @@
+"""Optional execution tracing: a ring buffer of issued instructions.
+
+Attach a :class:`Tracer` to an :class:`~repro.sim.gpu.GPU` before launch
+to capture per-issue records (cycle, SM, warp, PC, opcode, active
+lanes).  Intended for debugging kernels and scheduler policies; the
+tracer costs nothing when not attached.
+
+Example::
+
+    tracer = Tracer(capacity=10_000)
+    gpu = GPU(config)
+    tracer.attach(gpu)
+    gpu.launch(launch)
+    for record in tracer.records()[-10:]:
+        print(record)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional
+
+from repro.isa.instructions import Instruction
+from repro.sim.warp import Warp
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One issued instruction."""
+
+    cycle: int
+    sm_id: int
+    warp_slot: int
+    cta_id: int
+    pc: int
+    opcode: str
+    active_lanes: int
+    backed_off: bool
+
+    def __str__(self) -> str:
+        flags = " B" if self.backed_off else ""
+        return (
+            f"[{self.cycle:>8}] SM{self.sm_id} w{self.warp_slot:02d} "
+            f"cta{self.cta_id} pc={self.pc:<4} {self.opcode:<12} "
+            f"lanes={self.active_lanes}{flags}"
+        )
+
+
+class Tracer:
+    """Ring buffer of issue events, with optional filtering."""
+
+    def __init__(self, capacity: int = 100_000,
+                 predicate: Optional[Callable[[TraceRecord], bool]] = None,
+                 ) -> None:
+        self.capacity = capacity
+        self.predicate = predicate
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def attach(self, gpu) -> None:
+        """Instrument ``gpu`` so future launches record issues."""
+        gpu.tracer = self
+
+    def record(self, cycle: int, warp: Warp, instr: Instruction,
+               active_lanes: int) -> None:
+        entry = TraceRecord(
+            cycle=cycle,
+            sm_id=warp.sm_id,
+            warp_slot=warp.warp_slot,
+            cta_id=warp.cta_id,
+            pc=instr.index,
+            opcode=instr.opcode.value,
+            active_lanes=active_lanes,
+            backed_off=warp.backed_off,
+        )
+        if self.predicate is not None and not self.predicate(entry):
+            return
+        if len(self._records) == self.capacity:
+            self.dropped += 1
+        self._records.append(entry)
+
+    def records(self) -> List[TraceRecord]:
+        return list(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,63 @@
+"""Shared fixtures for the unit/integration test suite.
+
+Tests run the simulator at deliberately tiny scale (one or two SMs, a
+handful of warps) — behaviour, not magnitude, is under test here; the
+paper-scale numbers live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import GPUConfig, fermi_config
+
+
+@pytest.fixture
+def tiny_config() -> GPUConfig:
+    """One SM, 4 warps, short rotation — fast and deterministic."""
+    return fermi_config(
+        num_sms=1,
+        max_warps_per_sm=4,
+        max_ctas_per_sm=4,
+        num_schedulers_per_sm=2,
+        max_cycles=2_000_000,
+    )
+
+
+@pytest.fixture
+def small_config() -> GPUConfig:
+    """One SM, 8 warps — enough for contention without slow runs."""
+    return fermi_config(
+        num_sms=1,
+        max_warps_per_sm=8,
+        max_ctas_per_sm=8,
+        max_cycles=5_000_000,
+    )
+
+
+@pytest.fixture
+def dual_sm_config() -> GPUConfig:
+    return fermi_config(
+        num_sms=2,
+        max_warps_per_sm=8,
+        max_ctas_per_sm=8,
+        max_cycles=5_000_000,
+    )
+
+
+def run_program(source: str, config: GPUConfig, *, grid_dim: int = 1,
+                block_dim: int = 32, params=None, memory=None,
+                name: str = "test_kernel"):
+    """Assemble and run a snippet; returns (result, memory)."""
+    from repro.isa import assemble
+    from repro.memory.memsys import GlobalMemory
+    from repro.sim.gpu import GPU, KernelLaunch
+
+    program = assemble(source, name=name)
+    if memory is None:
+        memory = GlobalMemory(1 << 16)
+    gpu = GPU(config, memory=memory)
+    result = gpu.launch(
+        KernelLaunch(program, grid_dim, block_dim, params or {})
+    )
+    return result, memory

@@ -1,0 +1,198 @@
+"""Adaptive back-off delay-limit controllers.
+
+Two modes are under test: the paper's Figure 5 rules (``"paper"``) and
+the default extremum-seeking controller (``"hillclimb"``) that searches
+for the delay maximizing the global-store (forward-progress) rate.  See
+``repro.core.adaptive`` for why both exist.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.adaptive import AdaptiveDelayController, WindowSample
+from repro.sim.config import BOWSConfig
+
+
+def controller(mode="paper", **overrides) -> AdaptiveDelayController:
+    defaults = dict(
+        adaptive=True, controller=mode, delay_limit=1000, window=1000,
+        delay_step=250, min_limit=0, max_limit=10000, frac1=0.1,
+        frac2=0.8,
+    )
+    defaults.update(overrides)
+    return AdaptiveDelayController(BOWSConfig(**defaults))
+
+
+def test_unknown_controller_rejected():
+    with pytest.raises(ValueError, match="unknown adaptive controller"):
+        controller(mode="pid")
+
+
+# ------------------------------------------------------- paper (Fig. 5)
+
+
+def test_paper_increases_while_spinning_is_significant():
+    ctl = controller()
+    ctl.end_window(total_instructions=1000, sib_instructions=200)
+    assert ctl.delay_limit == 1250
+
+
+def test_paper_decreases_when_spinning_negligible():
+    ctl = controller()
+    ctl.end_window(total_instructions=1000, sib_instructions=10)
+    assert ctl.delay_limit == 750
+
+
+def test_paper_double_step_down_on_degraded_useful_ratio():
+    ctl = controller()
+    ctl.end_window(1000, 100)          # ratio 10; 100 !> 0.1*1000: -step
+    limit_after_first = ctl.delay_limit
+    # Ratio drops to 5 (< 0.8 * 10): -2 steps on top of the +1 step
+    # from the now-significant SIB share.
+    ctl.end_window(1000, 200)
+    assert ctl.delay_limit == limit_after_first + 250 - 500
+
+
+def test_paper_clamped_to_max():
+    ctl = controller(max_limit=1500)
+    for _ in range(10):
+        ctl.end_window(1000, 500)
+    assert ctl.delay_limit == 1500
+
+
+def test_paper_clamped_to_min():
+    ctl = controller(min_limit=500)
+    for _ in range(10):
+        ctl.end_window(1000, 0)
+    assert ctl.delay_limit == 500
+
+
+def test_paper_zero_windows_never_divide_by_zero():
+    ctl = controller()
+    ctl.end_window(0, 0)
+    ctl.end_window(100, 0)
+    assert ctl.windows_observed == 2
+
+
+def test_window_sample_properties():
+    assert WindowSample(100, 0).useful_ratio is None
+    assert WindowSample(100, 20).useful_ratio == 5.0
+    sample = WindowSample(100, 20, elapsed_cycles=50,
+                          store_instructions=10)
+    assert sample.progress_rate == pytest.approx(0.2)
+
+
+@given(
+    windows=st.lists(
+        st.tuples(st.integers(0, 10_000), st.integers(0, 10_000)),
+        max_size=50,
+    ),
+    mode=st.sampled_from(["paper", "hillclimb"]),
+)
+def test_limit_always_within_bounds(windows, mode):
+    ctl = controller(mode=mode, min_limit=100, max_limit=3000)
+    for total, sib in windows:
+        sib = min(sib, total)
+        ctl.end_window(total, sib, elapsed_cycles=1000,
+                       store_instructions=total - sib)
+        assert 100 <= ctl.delay_limit <= 3000
+
+
+@given(st.integers(1, 100))
+def test_paper_sustained_heavy_spinning_saturates_at_max(n_windows):
+    ctl = controller()
+    for _ in range(n_windows):
+        ctl.end_window(1000, 900)
+    assert ctl.delay_limit <= 10000
+    if n_windows > 40:
+        assert ctl.delay_limit == 10000
+
+
+# ------------------------------------------------------------- hillclimb
+
+
+def test_hillclimb_starts_at_min():
+    ctl = controller(mode="hillclimb", min_limit=0)
+    assert ctl.delay_limit == 0
+
+
+def test_hillclimb_climbs_while_progress_improves():
+    ctl = controller(mode="hillclimb")
+    limits = []
+    for rate in (10, 20, 30, 40):
+        ctl.end_window(1000, 100, elapsed_cycles=1000,
+                       store_instructions=rate)
+        limits.append(ctl.delay_limit)
+    assert limits == sorted(limits)
+    assert limits[-1] > limits[0]
+
+
+def test_hillclimb_acceleration():
+    ctl = controller(mode="hillclimb")
+    deltas = []
+    prev = ctl.delay_limit
+    for rate in (10, 20, 30, 40, 50):
+        ctl.end_window(1000, 100, elapsed_cycles=1000,
+                       store_instructions=rate)
+        deltas.append(ctl.delay_limit - prev)
+        prev = ctl.delay_limit
+    # Step doubles on consecutive improvements, capped at 4x.
+    assert deltas[0] == 250
+    assert deltas[-1] == 1000
+
+
+def test_hillclimb_reverses_on_degraded_progress():
+    ctl = controller(mode="hillclimb")
+    ctl.end_window(1000, 100, elapsed_cycles=1000, store_instructions=50)
+    up = ctl.delay_limit
+    ctl.end_window(1000, 100, elapsed_cycles=1000, store_instructions=10)
+    assert ctl.delay_limit < up
+
+
+def test_hillclimb_holds_without_progress_signal():
+    ctl = controller(mode="hillclimb")
+    ctl.end_window(1000, 100, elapsed_cycles=1000, store_instructions=50)
+    before = ctl.delay_limit
+    ctl.end_window(1000, 100, elapsed_cycles=1000, store_instructions=0)
+    assert ctl.delay_limit == before
+
+
+def test_hillclimb_dry_fuse_halves_stuck_throttle():
+    """Ten consecutive zero-progress windows blow the fuse: the limit
+    halves so an over-throttled kernel can recover (the hold rule alone
+    would freeze a bad delay forever)."""
+    ctl = controller(mode="hillclimb")
+    for rate in (10, 20, 30, 40, 50):      # climb to a real limit
+        ctl.end_window(1000, 100, elapsed_cycles=1000,
+                       store_instructions=rate)
+    high = ctl.delay_limit
+    assert high > 0
+    for _ in range(9):
+        ctl.end_window(1000, 100, elapsed_cycles=1000,
+                       store_instructions=0)
+    assert ctl.delay_limit == high          # still holding
+    ctl.end_window(1000, 100, elapsed_cycles=1000, store_instructions=0)
+    assert ctl.delay_limit == high // 2     # fuse blown
+
+
+def test_hillclimb_fuse_resets_on_progress():
+    ctl = controller(mode="hillclimb")
+    ctl.end_window(1000, 100, elapsed_cycles=1000, store_instructions=10)
+    before = ctl.delay_limit
+    for _ in range(9):
+        ctl.end_window(1000, 100, elapsed_cycles=1000,
+                       store_instructions=0)
+    ctl.end_window(1000, 100, elapsed_cycles=1000, store_instructions=5)
+    for _ in range(9):
+        ctl.end_window(1000, 100, elapsed_cycles=1000,
+                       store_instructions=0)
+    # Never 10 consecutive dry windows: no halving beyond normal steps.
+    assert ctl.delay_limit >= before // 2
+
+
+def test_hillclimb_never_below_min():
+    ctl = controller(mode="hillclimb", min_limit=0)
+    for rate in (50, 10, 50, 10, 50, 10):
+        ctl.end_window(1000, 100, elapsed_cycles=1000,
+                       store_instructions=rate)
+    assert ctl.delay_limit >= 0

@@ -1,0 +1,114 @@
+"""Set-associative LRU cache tag array."""
+
+from hypothesis import given, strategies as st
+
+from repro.memory.cache import Cache
+from repro.sim.config import CacheConfig
+
+
+def small_cache(assoc=2, sets=2, line=128) -> Cache:
+    return Cache(CacheConfig(line * assoc * sets, line, assoc))
+
+
+def test_cold_miss_then_hit():
+    cache = small_cache()
+    assert not cache.access(0)
+    assert cache.access(0)
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_same_line_different_offsets():
+    cache = small_cache(line=128)
+    cache.access(0)
+    # access() takes line-aligned addresses; offsets map via caller.
+    assert cache.access(0)
+
+
+def test_lru_eviction():
+    cache = small_cache(assoc=2, sets=1)
+    a, b, c = 0, 128, 256  # all map to set 0
+    cache.access(a)
+    cache.access(b)
+    cache.access(c)        # evicts a (LRU)
+    assert not cache.access(a)  # a was evicted
+    # accessing a evicted b (it was LRU after c's fill)
+    assert not cache.access(b)
+
+
+def test_lru_updated_on_hit():
+    cache = small_cache(assoc=2, sets=1)
+    a, b, c = 0, 128, 256
+    cache.access(a)
+    cache.access(b)
+    cache.access(a)        # a becomes MRU
+    cache.access(c)        # evicts b, not a
+    assert cache.access(a)
+
+
+def test_no_allocate_on_miss():
+    cache = small_cache()
+    assert not cache.access(0, allocate=False)
+    assert not cache.access(0)  # still a miss: not filled before
+
+
+def test_probe_is_non_destructive():
+    cache = small_cache()
+    assert not cache.probe(0)
+    hits = cache.hits
+    misses = cache.misses
+    cache.probe(0)
+    assert cache.hits == hits and cache.misses == misses
+
+
+def test_invalidate():
+    cache = small_cache()
+    cache.access(0)
+    assert cache.invalidate(0)
+    assert not cache.probe(0)
+    assert not cache.invalidate(0)
+
+
+def test_flush():
+    cache = small_cache()
+    for line in (0, 128, 256, 384):
+        cache.access(line)
+    cache.flush()
+    assert cache.occupancy()["resident"] == 0
+
+
+def test_sets_are_independent():
+    cache = small_cache(assoc=1, sets=2, line=128)
+    # line 0 -> set 0, line 128 -> set 1
+    cache.access(0)
+    cache.access(128)
+    assert cache.access(0)
+    assert cache.access(128)
+
+
+@given(st.lists(st.integers(0, 63), min_size=1, max_size=200))
+def test_occupancy_never_exceeds_capacity(line_indices):
+    cache = small_cache(assoc=2, sets=2)
+    for index in line_indices:
+        cache.access(index * 128)
+    occupancy = cache.occupancy()
+    assert occupancy["resident"] <= occupancy["capacity"]
+    assert cache.accesses == len(line_indices)
+
+
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=50))
+def test_single_set_working_set_within_assoc_always_hits(picks):
+    """A working set no larger than the associativity never re-misses."""
+    cache = small_cache(assoc=2, sets=1)
+    seen = set()
+    for pick in picks:
+        addr = pick * 128
+        hit = cache.access(addr)
+        assert hit == (pick in seen)
+        seen.add(pick)
+
+
+def test_bad_geometry_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        CacheConfig(1000, 128, 3)

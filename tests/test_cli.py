@@ -1,0 +1,65 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_params, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig9" in out and "ht" in out
+
+
+def test_run_kernel(capsys):
+    code = main([
+        "run", "vecadd",
+        "--param", "n_threads=64",
+        "--param", "per_thread=2",
+        "--param", "block_dim=32",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cycles" in out
+    assert "validation: OK" in out
+
+
+def test_run_with_bows(capsys):
+    code = main([
+        "run", "ht", "--bows", "adaptive",
+        "--param", "n_threads=64",
+        "--param", "n_buckets=8",
+        "--param", "items_per_thread=1",
+        "--param", "block_dim=64",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "detected SIBs" in out
+
+
+def test_experiment_tab3(capsys):
+    assert main(["experiment", "tab3"]) == 0
+    out = capsys.readouterr().out
+    assert "SIB-PT" in out
+
+
+def test_experiment_quick_scale(capsys):
+    assert main(["experiment", "fig3", "--scale", "quick"]) == 0
+    out = capsys.readouterr().out
+    assert "normalized_time" in out
+
+
+def test_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["experiment", "fig99"])
+
+
+def test_unknown_kernel_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "nope"])
+
+
+def test_parse_params():
+    assert _parse_params(["a=1", "b=2"]) == {"a": 1, "b": 2}
+    with pytest.raises(SystemExit):
+        _parse_params(["oops"])

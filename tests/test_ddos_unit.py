@@ -1,0 +1,252 @@
+"""DDOS unit behaviour: hashing, history FSM, SIB-PT (paper Figure 7)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.ddos import DDOSEngine, hash_modulo, hash_xor
+from repro.isa import assemble
+from repro.sim.config import DDOSConfig
+
+# ------------------------------------------------------------- hashing
+
+
+def test_hash_modulo_keeps_low_bits():
+    assert hash_modulo(0x1234, 8) == 0x34
+    assert hash_modulo(0x1234, 4) == 0x4
+
+
+def test_hash_modulo_blind_to_high_bits():
+    """The MS/HL failure mode: +256 strides look constant at k=8."""
+    assert hash_modulo(0x100, 8) == hash_modulo(0x200, 8) == 0
+
+
+def test_hash_xor_sees_high_bits():
+    assert hash_xor(0x100, 8) != hash_xor(0x200, 8)
+
+
+def test_hash_xor_folds():
+    assert hash_xor(0x12345678, 8) == 0x12 ^ 0x34 ^ 0x56 ^ 0x78
+
+
+@given(st.integers(0, 2**32 - 1), st.sampled_from([2, 3, 4, 8]))
+def test_hashes_stay_in_range(value, bits):
+    assert 0 <= hash_xor(value, bits) < (1 << bits)
+    assert 0 <= hash_modulo(value, bits) < (1 << bits)
+
+
+@given(st.integers(0, 2**32 - 1))
+def test_hashes_deterministic(value):
+    assert hash_xor(value, 8) == hash_xor(value, 8)
+    assert hash_modulo(value, 8) == hash_modulo(value, 8)
+
+
+# ------------------------------------------------------ history FSM
+
+SPIN_PROGRAM = assemble(
+    """
+SPIN:
+    atom.cas %r1, [%r2], 0, 1
+    setp.eq %p1, %r1, 0
+    @%p1 bra OUT
+    setp.eq %p2, %r3, 0
+    @%p2 bra SPIN !sib
+OUT:
+    exit
+    """
+)
+
+
+def engine(**overrides) -> DDOSEngine:
+    config = DDOSConfig(**overrides)
+    return DDOSEngine(config, SPIN_PROGRAM, n_warp_slots=4)
+
+
+def setp_a():
+    return SPIN_PROGRAM[1]
+
+
+def setp_b():
+    return SPIN_PROGRAM[3]
+
+
+def sib():
+    return SPIN_PROGRAM[4]
+
+
+def test_period2_spin_detected_after_four_events():
+    """Figure 7b: two setps per iteration -> spinning at the 4th event."""
+    ddos = engine()
+    ddos.on_setp(0, setp_a(), 1, 0, now=0)    # iteration 1
+    ddos.on_setp(0, setp_b(), 0, 0, now=1)
+    assert not ddos.warp_spinning(0)
+    ddos.on_setp(0, setp_a(), 1, 0, now=2)    # iteration 2 - match found
+    assert not ddos.warp_spinning(0)
+    ddos.on_setp(0, setp_b(), 0, 0, now=3)    # remaining matches -> 0
+    assert ddos.warp_spinning(0)
+
+
+def test_spinning_lost_on_value_change():
+    """Figure 7b step 5: acquiring the lock changes a setp source."""
+    ddos = engine()
+    for now in range(6):
+        instr = setp_a() if now % 2 == 0 else setp_b()
+        ddos.on_setp(0, instr, 1 if now % 2 == 0 else 0, 0, now)
+    assert ddos.warp_spinning(0)
+    ddos.on_setp(0, setp_a(), 0, 0, now=6)  # lock acquired: value flips
+    assert not ddos.warp_spinning(0)
+
+
+def test_normal_loop_never_flagged():
+    """Figure 7c/d: a changing induction value never repeats."""
+    ddos = engine()
+    for i in range(20):
+        ddos.on_setp(0, setp_a(), i, 100, now=i)
+    assert not ddos.warp_spinning(0)
+
+
+def test_period1_spin():
+    """Single-setp spin loop (while(CAS)) detected at the 3rd event."""
+    ddos = engine()
+    ddos.on_setp(0, setp_a(), 1, 0, now=0)
+    ddos.on_setp(0, setp_a(), 1, 0, now=1)
+    ddos.on_setp(0, setp_a(), 1, 0, now=2)
+    assert ddos.warp_spinning(0)
+
+
+def test_histories_are_per_warp():
+    ddos = engine()
+    for now in range(4):
+        ddos.on_setp(0, setp_a() if now % 2 == 0 else setp_b(),
+                     1 if now % 2 == 0 else 0, 0, now)
+    assert ddos.warp_spinning(0)
+    assert not ddos.warp_spinning(1)
+
+
+def test_short_history_cannot_lock_long_period():
+    """Table I: l too small -> the repeating pattern never fits."""
+    ddos = engine(history_length=1)
+    for now in range(12):
+        ddos.on_setp(0, setp_a() if now % 2 == 0 else setp_b(),
+                     1 if now % 2 == 0 else 0, 0, now)
+    assert not ddos.warp_spinning(0)
+
+
+# --------------------------------------------------------------- SIB-PT
+
+
+def make_spinning(ddos, slot=0):
+    for now in range(4):
+        ddos.on_setp(slot, setp_a() if now % 2 == 0 else setp_b(),
+                     1 if now % 2 == 0 else 0, 0, now)
+    assert ddos.warp_spinning(slot)
+
+
+def test_confidence_accumulates_to_threshold():
+    ddos = engine(confidence_threshold=4)
+    make_spinning(ddos)
+    for i in range(3):
+        ddos.on_backward_branch(0, sib(), taken_any=True, now=10 + i)
+        assert not ddos.is_sib(sib().index)
+    ddos.on_backward_branch(0, sib(), taken_any=True, now=20)
+    assert ddos.is_sib(sib().index)
+    assert sib().index in ddos.predicted_sibs()
+
+
+def test_confidence_decrements_for_non_spinning_takers():
+    ddos = engine(confidence_threshold=4)
+    make_spinning(ddos)
+    for i in range(4):
+        ddos.on_backward_branch(0, sib(), taken_any=True, now=10 + i)
+    assert ddos.is_sib(sib().index)
+    # A non-spinning warp (slot 1) repeatedly takes the branch:
+    # aliasing guard drains the confidence below threshold.
+    for i in range(2):
+        ddos.on_backward_branch(1, sib(), taken_any=True, now=30 + i)
+    assert not ddos.is_sib(sib().index)
+
+
+def test_not_taken_by_non_spinner_keeps_confidence():
+    ddos = engine(confidence_threshold=2)
+    make_spinning(ddos)
+    ddos.on_backward_branch(0, sib(), taken_any=True, now=10)
+    ddos.on_backward_branch(0, sib(), taken_any=True, now=11)
+    assert ddos.is_sib(sib().index)
+    ddos.on_backward_branch(1, sib(), taken_any=False, now=12)
+    assert ddos.is_sib(sib().index)
+
+
+def test_sib_pt_capacity_eviction():
+    program_lines = []
+    for i in range(20):
+        program_lines.append(f"L{i}:")
+        program_lines.append("    nop")
+    program_lines.append("    setp.eq %p1, %r1, 0")
+    for i in range(20):
+        program_lines.append(f"    @%p1 bra L{i}")
+    program_lines.append("    exit")
+    big_program = assemble("\n".join(program_lines))
+    config = DDOSConfig(sib_pt_entries=4)
+    ddos = DDOSEngine(config, big_program, n_warp_slots=2)
+    # Force the warp into the spinning state on its history registers.
+    setp = next(i for i in big_program.instructions if i.is_setp)
+    for now in range(4):
+        ddos.on_setp(0, setp, 1, 0, now)
+    branches = [i for i in big_program.instructions if i.is_backward_branch]
+    for i, branch in enumerate(branches[:6]):
+        ddos.on_backward_branch(0, branch, taken_any=True, now=100 + i)
+    assert len(ddos.sib_pt) <= 4
+
+
+def test_detection_records_track_first_and_last_seen():
+    ddos = engine()
+    make_spinning(ddos)
+    ddos.on_backward_branch(0, sib(), taken_any=True, now=50)
+    ddos.on_backward_branch(0, sib(), taken_any=True, now=90)
+    record = ddos.detection_records()[sib().index]
+    assert record.first_seen == 50
+    assert record.last_seen == 90
+
+
+# ---------------------------------------------------------- time sharing
+
+
+def test_time_sharing_profiles_one_warp_at_a_time():
+    ddos = engine(time_sharing=True, time_sharing_epoch=1000)
+    # Warp 0 owns the registers during the first epoch.
+    for now in range(4):
+        ddos.on_setp(0, setp_a() if now % 2 == 0 else setp_b(),
+                     1 if now % 2 == 0 else 0, 0, now)
+    assert ddos.warp_spinning(0)
+    # Warp 1's events during warp 0's epoch are ignored.
+    ddos.on_setp(1, setp_a(), 1, 0, now=10)
+    assert not ddos.warp_spinning(1)
+
+
+def test_time_sharing_rotates_and_resets():
+    ddos = engine(time_sharing=True, time_sharing_epoch=100)
+    for now in range(4):
+        ddos.on_setp(0, setp_a() if now % 2 == 0 else setp_b(),
+                     1 if now % 2 == 0 else 0, 0, now)
+    assert ddos.warp_spinning(0)
+    # Epoch rolls over: ownership moves to warp 1, history cleared.
+    ddos.on_setp(1, setp_a(), 1, 0, now=150)
+    assert not ddos.warp_spinning(0)
+    assert not ddos.warp_spinning(1)
+
+
+@given(
+    values=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 255)),
+        min_size=1, max_size=60,
+    )
+)
+def test_fsm_never_crashes_on_arbitrary_streams(values):
+    ddos = engine()
+    setps = [setp_a(), setp_b()]
+    for i, (which, value) in enumerate(values):
+        ddos.on_setp(which % 2, setps[which % 2], value, value // 2, i)
+        if value % 5 == 0:
+            ddos.on_backward_branch(which % 2, sib(), bool(value % 2), i)
+    # Invariant: SIB-PT confidences are never negative.
+    for record in ddos.sib_pt.values():
+        assert record.confidence >= 0

@@ -1,0 +1,183 @@
+"""Edge cases across the stack."""
+
+import numpy as np
+import pytest
+
+from conftest import run_program
+from repro.isa import assemble
+from repro.memory.memsys import GlobalMemory
+from repro.sim.config import fermi_config
+
+
+def test_empty_guard_all_false(tiny_config):
+    """A guarded instruction whose guard is false everywhere is a no-op."""
+    memory = GlobalMemory(1 << 12)
+    out = memory.alloc(32)
+    _, memory = run_program(
+        """
+        ld.param %r_o, [out]
+        setp.lt %p1, %gtid, 0
+        shl %r_a, %gtid, 2
+        add %r_a, %r_o, %r_a
+        @%p1 st.global [%r_a], 99
+        exit
+        """,
+        tiny_config, block_dim=32, params={"out": out}, memory=memory,
+    )
+    assert (memory.load_array(out, 32) == 0).all()
+
+
+def test_branch_with_all_lanes_taken_does_not_diverge(tiny_config):
+    result, _ = run_program(
+        """
+        setp.ge %p1, %gtid, 0
+        @%p1 bra END
+        mov %r1, 1
+    END:
+        exit
+        """,
+        tiny_config, block_dim=32,
+    )
+    # mov skipped by everyone: 3 warp instructions only.
+    assert result.stats.warp_instructions == 3
+
+
+def test_loop_with_zero_iterations_guard(tiny_config):
+    """A pre-tested loop that never runs."""
+    memory = GlobalMemory(1 << 12)
+    out = memory.alloc(32)
+    _, memory = run_program(
+        """
+        ld.param %r_o, [out]
+        mov %r_i, 5
+    CHECK:
+        setp.lt %p1, %r_i, 5
+        @!%p1 bra DONE
+        add %r_i, %r_i, 1
+        bra CHECK
+    DONE:
+        shl %r_a, %gtid, 2
+        add %r_a, %r_o, %r_a
+        st.global [%r_a], %r_i
+        exit
+        """,
+        tiny_config, block_dim=32, params={"out": out}, memory=memory,
+    )
+    assert (memory.load_array(out, 32) == 5).all()
+
+
+def test_atomic_same_address_all_lanes(tiny_config):
+    """32 lanes CAS one address in one instruction: exactly one wins."""
+    memory = GlobalMemory(1 << 12)
+    flag = memory.alloc(1)
+    winners = memory.alloc(32)
+    _, memory = run_program(
+        """
+        ld.param %r_f, [flag]
+        ld.param %r_w, [winners]
+        atom.cas %r_old, [%r_f], 0, 7
+        shl %r_a, %gtid, 2
+        add %r_a, %r_w, %r_a
+        st.global [%r_a], %r_old
+        exit
+        """,
+        tiny_config, block_dim=32,
+        params={"flag": flag, "winners": winners}, memory=memory,
+    )
+    old_values = memory.load_array(winners, 32)
+    assert int((old_values == 0).sum()) == 1  # one lane saw it free
+    assert int((old_values == 7).sum()) == 31
+    assert memory.read_word(flag) == 7
+
+
+def test_single_lane_cta(tiny_config):
+    result, _ = run_program("mov %r1, %gtid\nexit", tiny_config,
+                            block_dim=1)
+    assert result.stats.thread_instructions == 2
+
+
+def test_max_register_pressure(tiny_config):
+    """Many distinct registers in one kernel all get storage."""
+    lines = [f"    mov %r{i}, {i}" for i in range(64)]
+    lines.append("    mov %r_acc, 0")
+    for i in range(64):
+        lines.append(f"    add %r_acc, %r_acc, %r{i}")
+    lines += [
+        "    ld.param %r_o, [out]",
+        "    shl %r_a, %gtid, 2",
+        "    add %r_a, %r_o, %r_a",
+        "    st.global [%r_a], %r_acc",
+        "    exit",
+    ]
+    memory = GlobalMemory(1 << 12)
+    out = memory.alloc(32)
+    _, memory = run_program("\n".join(lines), tiny_config, block_dim=32,
+                            params={"out": out}, memory=memory)
+    assert (memory.load_array(out, 32) == sum(range(64))).all()
+
+
+def test_deeply_nested_divergence(tiny_config):
+    """Five levels of nested lane splits reconverge correctly."""
+    source_lines = ["    ld.param %r_o, [out]", "    mov %r_v, 0"]
+    for level in range(5):
+        source_lines += [
+            f"    and %r_b{level}, %gtid, {1 << level}",
+            f"    setp.eq %p{level}, %r_b{level}, 0",
+            f"    @!%p{level} bra SKIP{level}",
+            f"    add %r_v, %r_v, {1 << level}",
+            f"SKIP{level}:",
+        ]
+    source_lines += [
+        "    shl %r_a, %gtid, 2",
+        "    add %r_a, %r_o, %r_a",
+        "    st.global [%r_a], %r_v",
+        "    exit",
+    ]
+    memory = GlobalMemory(1 << 12)
+    out = memory.alloc(32)
+    _, memory = run_program("\n".join(source_lines), tiny_config,
+                            block_dim=32, params={"out": out},
+                            memory=memory)
+    expected = [(~g) & 31 for g in range(32)]
+    assert memory.load_array(out, 32).tolist() == expected
+
+
+def test_barrier_in_divergent_free_region_many_warps():
+    config = fermi_config(num_sms=1, max_warps_per_sm=8)
+    memory = GlobalMemory(1 << 14)
+    counter = memory.alloc(1)
+    result, memory = run_program(
+        """
+        ld.param %r_c, [counter]
+        bar.sync
+        atom.add %r_old, [%r_c], 1
+        bar.sync
+        atom.add %r_old2, [%r_c], 1
+        exit
+        """,
+        config, block_dim=256, params={"counter": counter},
+        memory=memory,
+    )
+    assert memory.read_word(counter) == 512
+    assert result.stats.barrier_waits == 16  # 8 warps x 2 barriers
+
+
+def test_clock_values_progress_across_warps(tiny_config):
+    memory = GlobalMemory(1 << 12)
+    out = memory.alloc(64)
+    _, memory = run_program(
+        """
+        ld.param %r_o, [out]
+        clock %r_t
+        shl %r_a, %gtid, 2
+        add %r_a, %r_o, %r_a
+        st.global [%r_a], %r_t
+        exit
+        """,
+        tiny_config, block_dim=64, params={"out": out}, memory=memory,
+    )
+    stamps = memory.load_array(out, 64)
+    assert (stamps >= 0).all()
+    # Two warps cannot both issue clock on the same scheduler slot at
+    # the same cycle unless they sit on different schedulers.
+    assert len(set(stamps.tolist())) >= 1

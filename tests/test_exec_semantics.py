@@ -1,0 +1,463 @@
+"""End-to-end instruction semantics: assembled snippets on the full GPU.
+
+Each test runs a tiny kernel and checks the memory image it leaves —
+covering every opcode, predication, divergence/reconvergence, barriers,
+fences, clocks, and special registers as executed by the pipeline (not
+just the ALU helpers).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_program
+from repro.memory.memsys import GlobalMemory
+
+
+def out_buffer(memory: GlobalMemory, words: int) -> int:
+    return memory.alloc(words)
+
+
+def store_per_thread(body: str) -> str:
+    """Wrap ``body`` (which must set %r_out) with a per-thread store."""
+    return f"""
+        ld.param %r_base, [out]
+{body}
+        shl %r_a, %gtid, 2
+        add %r_a, %r_base, %r_a
+        st.global [%r_a], %r_out
+        exit
+    """
+
+
+def run_per_thread(tiny_config, body: str, *, block_dim=32, grid_dim=1,
+                   extra_params=None, memory=None):
+    if memory is None:
+        memory = GlobalMemory(1 << 16)
+    out = memory.alloc(grid_dim * block_dim)
+    params = {"out": out}
+    params.update(extra_params or {})
+    result, memory = run_program(
+        store_per_thread(body), tiny_config,
+        grid_dim=grid_dim, block_dim=block_dim, params=params,
+        memory=memory,
+    )
+    return memory.load_array(out, grid_dim * block_dim), result
+
+
+def test_mov_immediate(tiny_config):
+    values, _ = run_per_thread(tiny_config, "    mov %r_out, 7")
+    assert (values == 7).all()
+
+
+def test_special_registers(tiny_config):
+    values, _ = run_per_thread(
+        tiny_config, "    mov %r_out, %tid", block_dim=32, grid_dim=2
+    )
+    assert values.tolist() == list(range(32)) * 2
+
+
+def test_gtid_spans_ctas(tiny_config):
+    values, _ = run_per_thread(
+        tiny_config, "    mov %r_out, %gtid", block_dim=32, grid_dim=2
+    )
+    assert values.tolist() == list(range(64))
+
+
+def test_laneid_and_ntid(tiny_config):
+    values, _ = run_per_thread(
+        tiny_config,
+        """
+        mov %r_a1, %laneid
+        mul %r_out, %r_a1, 100
+        add %r_out, %r_out, %ntid
+        """,
+        block_dim=32,
+    )
+    assert values.tolist() == [lane * 100 + 32 for lane in range(32)]
+
+
+def test_arithmetic_chain(tiny_config):
+    values, _ = run_per_thread(
+        tiny_config,
+        """
+        mov %r_x, %gtid
+        mad %r_x, %r_x, 3, 5
+        shl %r_x, %r_x, 1
+        sub %r_out, %r_x, 4
+        """,
+    )
+    expected = [((g * 3 + 5) << 1) - 4 for g in range(32)]
+    assert values.tolist() == expected
+
+
+def test_selp(tiny_config):
+    values, _ = run_per_thread(
+        tiny_config,
+        """
+        and %r_lsb, %gtid, 1
+        setp.eq %p1, %r_lsb, 0
+        selp %r_out, 100, 200, %p1
+        """,
+    )
+    expected = [100 if g % 2 == 0 else 200 for g in range(32)]
+    assert values.tolist() == expected
+
+
+def test_guarded_instruction(tiny_config):
+    values, _ = run_per_thread(
+        tiny_config,
+        """
+        mov %r_out, 1
+        setp.lt %p1, %gtid, 10
+        @%p1 mov %r_out, 2
+        """,
+    )
+    expected = [2 if g < 10 else 1 for g in range(32)]
+    assert values.tolist() == expected
+
+
+def test_negated_guard(tiny_config):
+    values, _ = run_per_thread(
+        tiny_config,
+        """
+        mov %r_out, 1
+        setp.lt %p1, %gtid, 10
+        @!%p1 mov %r_out, 3
+        """,
+    )
+    expected = [1 if g < 10 else 3 for g in range(32)]
+    assert values.tolist() == expected
+
+
+def test_if_else_divergence(tiny_config):
+    values, _ = run_per_thread(
+        tiny_config,
+        """
+        setp.lt %p1, %gtid, 16
+        @%p1 bra THEN
+        mov %r_out, 200
+        bra JOIN
+    THEN:
+        mov %r_out, 100
+    JOIN:
+        add %r_out, %r_out, 1
+        """,
+    )
+    expected = [101 if g < 16 else 201 for g in range(32)]
+    assert values.tolist() == expected
+
+
+def test_divergent_loop_trip_counts(tiny_config):
+    """Each lane loops a different number of times."""
+    values, _ = run_per_thread(
+        tiny_config,
+        """
+        mov %r_out, 0
+        and %r_n, %gtid, 7
+    LOOP:
+        add %r_out, %r_out, 1
+        setp.lt %p1, %r_out, %r_n
+        @%p1 bra LOOP
+        """,
+    )
+    expected = [max(g % 8, 1) for g in range(32)]
+    assert values.tolist() == expected
+
+
+def test_nested_divergence(tiny_config):
+    values, _ = run_per_thread(
+        tiny_config,
+        """
+        and %r_b0, %gtid, 1
+        and %r_b1, %gtid, 2
+        setp.eq %p1, %r_b0, 0
+        @%p1 bra A
+        mov %r_out, 10
+        bra J1
+    A:
+        setp.eq %p2, %r_b1, 0
+        @%p2 bra B
+        mov %r_out, 20
+        bra J2
+    B:
+        mov %r_out, 30
+    J2:
+        add %r_out, %r_out, 1
+    J1:
+        add %r_out, %r_out, 100
+        """,
+    )
+    def model(g):
+        if g & 1:
+            return 10 + 100
+        if g & 2:
+            return 20 + 1 + 100
+        return 30 + 1 + 100
+    assert values.tolist() == [model(g) for g in range(32)]
+
+
+def test_loads_and_stores(tiny_config):
+    memory = GlobalMemory(1 << 16)
+    data = memory.alloc(32)
+    memory.store_array(data, list(range(0, 64, 2)))
+    values, _ = run_per_thread(
+        tiny_config,
+        """
+        ld.param %r_d, [data]
+        shl %r_a2, %gtid, 2
+        add %r_a2, %r_d, %r_a2
+        ld.global %r_v, [%r_a2]
+        add %r_out, %r_v, 1000
+        """,
+        extra_params={"data": data},
+        memory=memory,
+    )
+    assert values.tolist() == [v + 1000 for v in range(0, 64, 2)]
+
+
+def test_load_with_offset(tiny_config):
+    memory = GlobalMemory(1 << 16)
+    data = memory.alloc(40)
+    memory.store_array(data, list(range(40)))
+    values, _ = run_per_thread(
+        tiny_config,
+        """
+        ld.param %r_d, [data]
+        shl %r_a2, %gtid, 2
+        add %r_a2, %r_d, %r_a2
+        ld.global %r_out, [%r_a2+8]
+        """,
+        extra_params={"data": data},
+        memory=memory,
+    )
+    assert values.tolist() == list(range(2, 34))
+
+
+def test_ld_global_cg(tiny_config):
+    memory = GlobalMemory(1 << 16)
+    data = memory.alloc(32)
+    memory.store_array(data, [5] * 32)
+    values, result = run_per_thread(
+        tiny_config,
+        """
+        ld.param %r_d, [data]
+        shl %r_a2, %gtid, 2
+        add %r_a2, %r_d, %r_a2
+        ld.global.cg %r_out, [%r_a2]
+        """,
+        extra_params={"data": data},
+        memory=memory,
+    )
+    assert (values == 5).all()
+
+
+def test_atom_add_accumulates(tiny_config):
+    memory = GlobalMemory(1 << 16)
+    counter = memory.alloc(1)
+    result, memory = run_program(
+        """
+        ld.param %r_c, [counter]
+        atom.add %r_old, [%r_c], 1
+        exit
+        """,
+        tiny_config,
+        block_dim=32, grid_dim=2,
+        params={"counter": counter}, memory=memory,
+    )
+    assert memory.read_word(counter) == 64
+
+
+def test_atom_cas_only_one_winner_per_address(tiny_config):
+    memory = GlobalMemory(1 << 16)
+    flag = memory.alloc(1)
+    wins = memory.alloc(1)
+    result, memory = run_program(
+        """
+        ld.param %r_f, [flag]
+        ld.param %r_w, [wins]
+        atom.cas %r_old, [%r_f], 0, 1
+        setp.eq %p1, %r_old, 0
+        @!%p1 bra DONE
+        atom.add %r_ig, [%r_w], 1
+    DONE:
+        exit
+        """,
+        tiny_config,
+        block_dim=32, grid_dim=1,
+        params={"flag": flag, "wins": wins}, memory=memory,
+    )
+    assert memory.read_word(wins) == 1
+    assert memory.read_word(flag) == 1
+
+
+def test_atom_exch_returns_old(tiny_config):
+    memory = GlobalMemory(1 << 16)
+    slot = memory.alloc(1)
+    memory.write_word(slot, 99)
+    values, _ = run_per_thread(
+        tiny_config,
+        """
+        ld.param %r_s, [slot]
+        setp.eq %p1, %laneid, 0
+        mov %r_out, -1
+        @%p1 atom.exch %r_out, [%r_s], 7
+        """,
+        block_dim=32, extra_params={"slot": slot}, memory=memory,
+    )
+    assert values[0] == 99
+    assert (values[1:] == -1).all()
+    assert memory.read_word(slot) == 7
+
+
+def test_atom_min_max(tiny_config):
+    memory = GlobalMemory(1 << 16)
+    lo = memory.alloc(1)
+    hi = memory.alloc(1)
+    memory.write_word(lo, 1 << 20)
+    memory.write_word(hi, -(1 << 20))
+    result, memory = run_program(
+        """
+        ld.param %r_lo, [lo]
+        ld.param %r_hi, [hi]
+        atom.min %r_a, [%r_lo], %gtid
+        atom.max %r_b, [%r_hi], %gtid
+        exit
+        """,
+        tiny_config,
+        block_dim=32, grid_dim=2,
+        params={"lo": lo, "hi": hi}, memory=memory,
+    )
+    assert memory.read_word(lo) == 0
+    assert memory.read_word(hi) == 63
+
+
+def test_barrier_orders_phases(tiny_config):
+    """Warp 1 reads what warp 0 wrote before the barrier."""
+    memory = GlobalMemory(1 << 16)
+    stage = memory.alloc(64)
+    out = memory.alloc(64)
+    result, memory = run_program(
+        """
+        ld.param %r_stage, [stage]
+        ld.param %r_out, [out]
+        // phase 1: every thread writes tid*2 to stage[tid]
+        shl %r_a, %tid, 2
+        add %r_w, %r_stage, %r_a
+        mul %r_v, %tid, 2
+        st.global [%r_w], %r_v
+        bar.sync
+        // phase 2: read the *other* warp's slot
+        xor %r_peer, %tid, 32
+        shl %r_pa, %r_peer, 2
+        add %r_pr, %r_stage, %r_pa
+        ld.global.cg %r_pv, [%r_pr]
+        add %r_oa, %r_out, %r_a
+        st.global [%r_oa], %r_pv
+        exit
+        """,
+        tiny_config,
+        block_dim=64, grid_dim=1,
+        params={"stage": stage, "out": out}, memory=memory,
+    )
+    got = memory.load_array(out, 64)
+    expected = [((t ^ 32) * 2) for t in range(64)]
+    assert got.tolist() == expected
+    assert result.stats.barrier_waits == 2  # two warps hit the barrier
+
+
+def test_membar_advances(tiny_config):
+    values, _ = run_per_thread(
+        tiny_config,
+        """
+        mov %r_out, 1
+        membar
+        add %r_out, %r_out, 1
+        """,
+    )
+    assert (values == 2).all()
+
+
+def test_clock_is_monotonic(tiny_config):
+    values, _ = run_per_thread(
+        tiny_config,
+        """
+        clock %r_t0
+        clock %r_t1
+        sub %r_out, %r_t1, %r_t0
+        """,
+    )
+    assert (values > 0).all()
+
+
+def test_guarded_exit_retires_lanes(tiny_config):
+    values, _ = run_per_thread(
+        tiny_config,
+        """
+        mov %r_out, 5
+        shl %r_a, %gtid, 2
+        ld.param %r_base2, [out]
+        add %r_a, %r_base2, %r_a
+        st.global [%r_a], %r_out
+        setp.lt %p1, %gtid, 16
+        @%p1 exit
+        mov %r_out, 9
+        """,
+    )
+    # Lanes < 16 exited before the final store wrapper ran, keeping 5;
+    # the survivors overwrote theirs with 9.
+    expected = [5 if g < 16 else 9 for g in range(32)]
+    assert values.tolist() == expected
+
+
+def test_nop_is_harmless(tiny_config):
+    values, _ = run_per_thread(
+        tiny_config,
+        """
+        mov %r_out, 3
+        nop
+        """,
+    )
+    assert (values == 3).all()
+
+
+def test_partial_last_warp(tiny_config):
+    """Block sizes that do not fill the last warp mask off dead lanes."""
+    memory = GlobalMemory(1 << 16)
+    out = memory.alloc(64)
+    memory.store_array(out, [-1] * 64)
+    result, memory = run_program(
+        """
+        ld.param %r_base, [out]
+        shl %r_a, %gtid, 2
+        add %r_a, %r_base, %r_a
+        st.global [%r_a], %gtid
+        exit
+        """,
+        tiny_config,
+        grid_dim=1, block_dim=40,  # warp 1 has only 8 live lanes
+        params={"out": out}, memory=memory,
+    )
+    got = memory.load_array(out, 64)
+    assert got[:40].tolist() == list(range(40))
+    assert (got[40:] == -1).all()
+
+
+def test_multi_cta_dispatch(dual_sm_config):
+    memory = GlobalMemory(1 << 18)
+    n = 32 * 64
+    out = memory.alloc(n)
+    result, memory = run_program(
+        """
+        ld.param %r_base, [out]
+        shl %r_a, %gtid, 2
+        add %r_a, %r_base, %r_a
+        st.global [%r_a], %ctaid
+        exit
+        """,
+        dual_sm_config,
+        grid_dim=64, block_dim=32,  # more CTAs than fit at once
+        params={"out": out}, memory=memory,
+    )
+    got = memory.load_array(out, n)
+    expected = np.repeat(np.arange(64), 32)
+    assert (got == expected).all()

@@ -1,0 +1,110 @@
+"""Vectorized ALU/compare evaluation against Python references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.instructions import Opcode
+from repro.sim.executor import eval_alu, eval_cmp
+
+I32 = st.integers(-(2**31), 2**31 - 1)
+
+
+def lanes(values):
+    return np.array(values, dtype=np.int64)
+
+
+def wrap(x: int) -> int:
+    return ((x + 2**31) % 2**32) - 2**31
+
+
+@given(st.lists(I32, min_size=1, max_size=8), st.lists(I32, min_size=1,
+                                                       max_size=8))
+def test_add_sub_mul(a_vals, b_vals):
+    n = min(len(a_vals), len(b_vals))
+    a, b = lanes(a_vals[:n]), lanes(b_vals[:n])
+    assert eval_alu(Opcode.ADD, [a, b]).tolist() == [
+        wrap(x + y) for x, y in zip(a_vals, b_vals)
+    ]
+    assert eval_alu(Opcode.SUB, [a, b]).tolist() == [
+        wrap(x - y) for x, y in zip(a_vals, b_vals)
+    ]
+    assert eval_alu(Opcode.MUL, [a, b]).tolist() == [
+        wrap(x * y) for x, y in zip(a_vals, b_vals)
+    ]
+
+
+@given(I32, I32, I32)
+def test_mad(a, b, c):
+    result = eval_alu(Opcode.MAD, [lanes([a]), lanes([b]), lanes([c])])
+    assert int(result[0]) == wrap(a * b + c)
+
+
+@given(I32, st.integers(-(2**20), 2**20).filter(lambda v: v != 0))
+def test_div_truncates_toward_zero(a, b):
+    result = eval_alu(Opcode.DIV, [lanes([a]), lanes([b])])
+    assert int(result[0]) == wrap(int(a / b))
+
+
+@given(I32, st.integers(-(2**20), 2**20).filter(lambda v: v != 0))
+def test_rem_matches_c_semantics(a, b):
+    result = eval_alu(Opcode.REM, [lanes([a]), lanes([b])])
+    assert int(result[0]) == wrap(a - int(a / b) * b)
+
+
+def test_div_rem_by_zero_do_not_crash():
+    assert int(eval_alu(Opcode.DIV, [lanes([7]), lanes([0])])[0]) == 0
+    assert int(eval_alu(Opcode.REM, [lanes([7]), lanes([0])])[0]) == 7
+
+
+@given(I32, I32)
+def test_bitwise(a, b):
+    assert int(eval_alu(Opcode.AND, [lanes([a]), lanes([b])])[0]) == wrap(a & b)
+    assert int(eval_alu(Opcode.OR, [lanes([a]), lanes([b])])[0]) == wrap(a | b)
+    assert int(eval_alu(Opcode.XOR, [lanes([a]), lanes([b])])[0]) == wrap(a ^ b)
+
+
+@given(I32)
+def test_not(a):
+    assert int(eval_alu(Opcode.NOT, [lanes([a])])[0]) == wrap(~a)
+
+
+@given(st.integers(0, 2**31 - 1), st.integers(0, 31))
+def test_shifts(a, s):
+    assert int(eval_alu(Opcode.SHL, [lanes([a]), lanes([s])])[0]) == wrap(a << s)
+    assert int(eval_alu(Opcode.SHR, [lanes([a]), lanes([s])])[0]) == wrap(a >> s)
+
+
+def test_shift_amount_clamped():
+    assert int(eval_alu(Opcode.SHL, [lanes([1]), lanes([40])])[0]) == wrap(1 << 31)
+
+
+@given(I32, I32)
+def test_min_max(a, b):
+    assert int(eval_alu(Opcode.MIN, [lanes([a]), lanes([b])])[0]) == min(a, b)
+    assert int(eval_alu(Opcode.MAX, [lanes([a]), lanes([b])])[0]) == max(a, b)
+
+
+def test_mov_passthrough():
+    assert eval_alu(Opcode.MOV, [lanes([1, -5])]).tolist() == [1, -5]
+
+
+def test_unknown_opcode_rejected():
+    with pytest.raises(ValueError, match="not an ALU opcode"):
+        eval_alu(Opcode.BRA, [lanes([0])])
+
+
+@given(I32, I32)
+def test_compare_operators(a, b):
+    av, bv = lanes([a]), lanes([b])
+    assert bool(eval_cmp("eq", av, bv)[0]) == (a == b)
+    assert bool(eval_cmp("ne", av, bv)[0]) == (a != b)
+    assert bool(eval_cmp("lt", av, bv)[0]) == (a < b)
+    assert bool(eval_cmp("le", av, bv)[0]) == (a <= b)
+    assert bool(eval_cmp("gt", av, bv)[0]) == (a > b)
+    assert bool(eval_cmp("ge", av, bv)[0]) == (a >= b)
+
+
+def test_unknown_comparison_rejected():
+    with pytest.raises(ValueError, match="unknown comparison"):
+        eval_cmp("zz", lanes([0]), lanes([0]))

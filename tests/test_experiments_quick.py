@@ -1,0 +1,115 @@
+"""Experiment harness smoke tests at quick scale.
+
+The full-scale regenerations live in ``benchmarks/``; here we check that
+each experiment function produces correctly-shaped rows and that the
+headline directional claims already show up at reduced scale where they
+robustly should.
+"""
+
+import pytest
+
+from repro.harness import experiments as E
+from repro.harness.params import sync_free_params, sync_params
+
+
+def test_params_registries_cover_all_kernels():
+    for scale in ("full", "quick"):
+        params = sync_params(scale)
+        assert set(params) == set(E.KERNEL_ORDER)
+        free = sync_free_params(scale)
+        assert "ms" in free and "hl" in free
+    with pytest.raises(ValueError):
+        sync_params("huge")
+
+
+def test_fig1_quick():
+    result = E.fig1(scale="quick", buckets=(8, 32))
+    assert [row["buckets"] for row in result.rows] == [8, 32]
+    for row in result.rows:
+        assert 0.0 <= row["sync_instr_frac"] <= 1.0
+        assert row["gpu_us"] > 0 and row["cpu_us"] > 0
+    # Contention raises the sync share.
+    assert result.rows[0]["sync_instr_frac"] >= result.rows[1][
+        "sync_instr_frac"] - 0.05
+
+
+def test_fig2_quick_subset():
+    result = E.fig2(scale="quick", kernels=["ht", "st"])
+    assert len(result.rows) == 6  # 2 kernels x 3 schedulers
+    ht_lrr = result.rows[0]
+    assert ht_lrr["scheme"] == "lrr"
+    total = (ht_lrr["lock_success"] + ht_lrr["inter_warp_fail"]
+             + ht_lrr["intra_warp_fail"])
+    assert total == pytest.approx(1.0, abs=0.01)  # normalized to itself
+
+
+def test_fig3_quick():
+    result = E.fig3(scale="quick", delay_factors=(0, 100))
+    assert result.rows[0]["normalized_time"] == 1.0
+    assert result.rows[1]["warp_instructions"] > result.rows[0][
+        "warp_instructions"]
+
+
+def test_fig9_quick_subset():
+    result = E.fig9(scale="quick", kernels=["ht", "tb"])
+    assert {row["kernel"] for row in result.rows} == {"ht", "tb"}
+    for row in result.rows:
+        for scheme in ("lrr", "gto", "cawa"):
+            assert row[f"{scheme}_time"] > 0
+            assert row[f"{scheme}+bows_energy"] > 0
+    assert "speedup_vs_gto" in result.headline
+
+
+def test_delay_sweep_and_projections():
+    sweep = E.run_delay_sweep(
+        scale="quick", kernels=["ht"], delays=(None, 0, 2000, "adaptive")
+    )
+    assert len(sweep) == 4
+    f10 = E.fig10(sweep=sweep)
+    f11 = E.fig11(sweep=sweep)
+    f12 = E.fig12(sweep=sweep)
+    f13 = E.fig13(sweep=sweep)
+    row10 = f10.rows[0]
+    assert row10["gto"] == 1.0
+    assert row10["bows(2000)"] > 0
+    row11 = f11.rows[0]
+    assert row11["gto"] == 0.0
+    assert row11["bows(2000)"] > 0.0
+    row12 = f12.rows[0]
+    assert row12["bows(2000)"] < row12["gto"]  # fewer attempts
+    metrics = {r["metric"] for r in f13.rows}
+    assert metrics == {"instructions", "memory_tx", "simd_eff"}
+
+
+def test_fig14_quick():
+    result = E.fig14(scale="quick", delays=(0, 3000))
+    rows = {row["kernel"]: row for row in result.rows}
+    assert rows["ms"]["bows(3000)"] > 1.0     # falsely throttled
+    assert rows["kmeans"]["bows(3000)"] <= 1.02
+    assert rows["ms"]["bows(3000)+xor"] <= 1.02
+
+
+def test_fig16_quick():
+    result = E.fig16(scale="quick", buckets=(8, 32))
+    for row in result.rows:
+        assert row["ideal_blocking_instr"] < 1.0
+        assert row["ideal_blocking_instr"] <= row["bows_instr"]
+
+
+def test_tab3_matches_paper():
+    result = E.tab3()
+    totals = next(r for r in result.rows if r["component"] == "TOTAL")
+    assert totals["bits"] >= 10_000
+
+
+def test_experiment_render():
+    result = E.tab3()
+    text = result.render()
+    assert "tab3" in text and "SIB-PT" in text
+
+
+def test_all_experiments_registry():
+    assert set(E.ALL_EXPERIMENTS) == {
+        "fig1", "fig2", "fig3", "tab1", "fig9", "fig10", "fig11",
+        "fig12", "fig13", "fig14", "fig15", "fig16", "tab3",
+    }

@@ -1,0 +1,285 @@
+"""Assembler: parsing, validation, and round-tripping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    AssemblyError,
+    Imm,
+    Mem,
+    Opcode,
+    Param,
+    Pred,
+    Reg,
+    Sreg,
+    assemble,
+)
+
+MINIMAL = """
+    mov %r1, 5
+    exit
+"""
+
+
+def test_minimal_program():
+    program = assemble(MINIMAL)
+    assert len(program) == 2
+    assert program[0].opcode is Opcode.MOV
+    assert program[1].opcode is Opcode.EXIT
+
+
+def test_mov_operands():
+    instr = assemble(MINIMAL)[0]
+    assert instr.dst == Reg("r1")
+    assert instr.srcs == (Imm(5),)
+
+
+def test_comments_and_blank_lines():
+    program = assemble(
+        """
+        // leading comment
+        mov %r1, 1   // trailing comment
+        # hash comment
+
+        exit
+        """
+    )
+    assert len(program) == 2
+
+
+def test_labels_resolve():
+    program = assemble(
+        """
+        mov %r1, 0
+    LOOP:
+        add %r1, %r1, 1
+        setp.lt %p1, %r1, 10
+        @%p1 bra LOOP
+        exit
+        """
+    )
+    branch = program[3]
+    assert branch.target == "LOOP"
+    assert branch.target_index == 1
+    assert branch.is_backward_branch
+
+
+def test_guard_parsing():
+    program = assemble(
+        """
+        setp.eq %p1, %r1, 0
+        @!%p1 bra OUT
+        mov %r2, 1
+    OUT:
+        exit
+        """
+    )
+    branch = program[1]
+    assert branch.guard == Pred("p1")
+    assert branch.guard_negated
+
+
+def test_role_annotations():
+    program = assemble(
+        """
+        atom.cas %r1, [%r2], 0, 1 !lock_try !sync
+        exit
+        """
+    )
+    assert program[0].roles == ("lock_try", "sync")
+    assert program[0].has_role("lock_try")
+    assert not program[0].has_role("sib")
+
+
+def test_memory_operands():
+    program = assemble(
+        """
+        ld.global %r1, [%r2]
+        ld.global %r3, [%r2+8]
+        ld.global %r4, [%r2+-4]
+        st.global [%r5], %r1
+        exit
+        """
+    )
+    assert program[0].srcs[0] == Mem(Reg("r2"), 0)
+    assert program[1].srcs[0] == Mem(Reg("r2"), 8)
+    assert program[2].srcs[0] == Mem(Reg("r2"), -4)
+    assert program[3].dst == Mem(Reg("r5"), 0)
+
+
+def test_param_operand():
+    program = assemble(
+        """
+        ld.param %r1, [my_param]
+        exit
+        """
+    )
+    assert program[0].srcs[0] == Param("my_param")
+
+
+def test_special_registers():
+    program = assemble(
+        """
+        mov %r1, %tid
+        mov %r2, %gtid
+        mov %r3, %laneid
+        exit
+        """
+    )
+    assert program[0].srcs[0] == Sreg("tid")
+    assert program[1].srcs[0] == Sreg("gtid")
+
+
+def test_bra_uni_alias():
+    program = assemble(
+        """
+        bra.uni END
+    END:
+        exit
+        """
+    )
+    assert program[0].opcode is Opcode.BRA
+    assert program[0].guard is None
+
+
+def test_setp_comparisons():
+    for cmp in ("eq", "ne", "lt", "le", "gt", "ge"):
+        program = assemble(f"setp.{cmp} %p1, %r1, %r2\nexit")
+        assert program[0].cmp == cmp
+
+
+def test_hex_immediates():
+    program = assemble("mov %r1, 0xff\nexit")
+    assert program[0].srcs[0] == Imm(255)
+
+
+def test_negative_immediates():
+    program = assemble("mov %r1, -42\nexit")
+    assert program[0].srcs[0] == Imm(-42)
+
+
+def test_atomics_shapes():
+    program = assemble(
+        """
+        atom.cas %r1, [%r2], 0, 1
+        atom.exch %r3, [%r2], 7
+        atom.add %r4, [%r2], 1
+        atom.min %r5, [%r2], %r1
+        atom.max %r6, [%r2], %r1
+        exit
+        """
+    )
+    assert program[0].is_atomic and program[0].is_memory
+
+
+# ---------------------------------------------------------------- errors
+
+
+@pytest.mark.parametrize(
+    "source, fragment",
+    [
+        ("bogus %r1, %r2\nexit", "unknown opcode"),
+        ("setp.zz %p1, %r1, %r2\nexit", "unknown setp comparison"),
+        ("add %r1, %r2\nexit", "expects 2 source"),
+        ("bra\nexit", "exactly one label"),
+        ("bra A, B\nexit", "exactly one label"),
+        ("@%p1 !sync\nexit", "guard or role with no instruction"),
+        ("mov %r1, %%bad\nexit", "cannot parse operand"),
+        ("setp.eq %r1, %r2, %r3\nexit", "destination must be a predicate"),
+        ("ld.global %r1, %r2\nexit", "must be a memory operand"),
+        ("st.global %r1, %r2\nexit", "must be a memory operand"),
+        ("ld.param %r1, [%r2]\nexit", "must be [param_name]"),
+        ("atom.cas %r1, %r2, 0, 1\nexit", "memory operand"),
+    ],
+)
+def test_parse_errors(source, fragment):
+    with pytest.raises(AssemblyError, match=".*"):
+        try:
+            assemble(source)
+        except AssemblyError as err:
+            assert fragment in str(err)
+            raise
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblyError, match="duplicate label"):
+        assemble("A:\nmov %r1, 0\nA:\nexit")
+
+
+def test_undefined_target_rejected():
+    with pytest.raises(AssemblyError, match="undefined branch target"):
+        assemble("bra NOWHERE\nexit")
+
+
+def test_trailing_label_rejected():
+    with pytest.raises(AssemblyError, match="at end of program"):
+        assemble("exit\nDANGLING:")
+
+
+def test_empty_program_rejected():
+    with pytest.raises(AssemblyError, match="empty program"):
+        assemble("// nothing here")
+
+
+def test_fallthrough_end_rejected():
+    with pytest.raises(ValueError, match="fall off the end"):
+        assemble("exit\nmov %r1, 0")
+
+
+def test_no_exit_rejected():
+    with pytest.raises(ValueError, match="no 'exit'"):
+        assemble("A:\nbra A")
+
+
+# ------------------------------------------------------------ round-trip
+
+
+def test_round_trip_disassembly():
+    source = """
+        ld.param %r_base, [data]
+        mov %r_i, 0
+    LOOP:
+        shl %r_a, %r_i, 2
+        add %r_a, %r_base, %r_a
+        ld.global %r_v, [%r_a]
+        atom.cas %r_o, [%r_a], 0, 1 !lock_try
+        setp.lt %p1, %r_i, 10
+        @%p1 bra LOOP !sib
+        exit
+    """
+    first = assemble(source)
+    second = assemble(first.to_text())
+    assert len(first) == len(second)
+    for a, b in zip(first.instructions, second.instructions):
+        assert str(a) == str(b)
+        assert a.target_index == b.target_index
+        assert a.roles == b.roles
+
+
+_REG_NAMES = st.sampled_from(["r1", "r2", "r3", "acc"])
+_ALU = st.sampled_from(["add", "sub", "mul", "and", "or", "xor",
+                        "min", "max"])
+
+
+@st.composite
+def _random_body(draw):
+    lines = []
+    for _ in range(draw(st.integers(1, 12))):
+        op = draw(_ALU)
+        dst = draw(_REG_NAMES)
+        a = draw(_REG_NAMES)
+        b = draw(st.one_of(_REG_NAMES,
+                           st.integers(-100, 100).map(str)))
+        b = f"%{b}" if not b.lstrip("-").isdigit() else b
+        lines.append(f"    {op} %{dst}, %{a}, {b}")
+    lines.append("    exit")
+    return "\n".join(lines)
+
+
+@given(_random_body())
+def test_random_straightline_round_trips(body):
+    first = assemble(body)
+    second = assemble(first.to_text())
+    assert [str(i) for i in first.instructions] == [
+        str(i) for i in second.instructions
+    ]

@@ -1,0 +1,165 @@
+"""Program analysis: basic blocks, CFG, reconvergence points."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.isa.program import RECONVERGE_AT_EXIT
+
+IF_ELSE = """
+    setp.eq %p1, %r1, 0
+    @%p1 bra THEN
+    mov %r2, 1
+    bra JOIN
+THEN:
+    mov %r2, 2
+JOIN:
+    add %r3, %r2, 1
+    exit
+"""
+
+
+def test_if_else_blocks():
+    program = assemble(IF_ELSE)
+    starts = [b.start for b in program.blocks]
+    assert starts == [0, 2, 4, 5]
+
+
+def test_if_else_reconvergence_is_join():
+    program = assemble(IF_ELSE)
+    # The conditional branch at index 1 reconverges at JOIN (index 5).
+    assert program.reconvergence_point(1) == 5
+
+
+def test_successors():
+    program = assemble(IF_ELSE)
+    entry = program.blocks[0]
+    # Conditional branch: taken target + fall-through.
+    assert set(entry.successors) == {1, 2}
+
+
+LOOP = """
+    mov %r_i, 0
+LOOP:
+    add %r_i, %r_i, 1
+    setp.lt %p1, %r_i, 10
+    @%p1 bra LOOP
+    exit
+"""
+
+
+def test_loop_reconvergence_is_exit_block():
+    program = assemble(LOOP)
+    # Backward branch at 3; loop exit (index 4) post-dominates it.
+    assert program.reconvergence_point(3) == 4
+    assert program[3].is_backward_branch
+
+
+def test_backward_branches_detected():
+    program = assemble(LOOP)
+    assert program.backward_branches() == {3}
+
+
+NESTED = """
+    setp.eq %p1, %r1, 0
+    @%p1 bra OUTER_THEN
+    mov %r2, 1
+    bra OUTER_JOIN
+OUTER_THEN:
+    setp.eq %p2, %r3, 0
+    @%p2 bra INNER_THEN
+    mov %r2, 2
+    bra INNER_JOIN
+INNER_THEN:
+    mov %r2, 3
+INNER_JOIN:
+    add %r2, %r2, 10
+OUTER_JOIN:
+    exit
+"""
+
+
+def test_nested_if_reconvergence():
+    program = assemble(NESTED)
+    outer_branch = 1
+    inner_branch = 5
+    labels = program.labels
+    assert program.reconvergence_point(outer_branch) == labels["OUTER_JOIN"]
+    assert program.reconvergence_point(inner_branch) == labels["INNER_JOIN"]
+
+
+DIVERGENT_EXIT = """
+    setp.eq %p1, %r1, 0
+    @%p1 bra DONE
+    mov %r2, 1
+    exit
+DONE:
+    mov %r2, 2
+    exit
+"""
+
+
+def test_paths_that_only_meet_at_exit():
+    program = assemble(DIVERGENT_EXIT)
+    assert program.reconvergence_point(1) == RECONVERGE_AT_EXIT
+
+
+def test_true_sibs_from_annotation():
+    program = assemble(
+        """
+    SPIN:
+        atom.cas %r1, [%r2], 0, 1 !lock_try
+        setp.ne %p1, %r1, 0
+        @%p1 bra SPIN !sib
+        exit
+        """
+    )
+    assert program.true_sibs() == {2}
+
+
+def test_registers_and_predicates_enumeration():
+    program = assemble(IF_ELSE)
+    assert program.registers() == {"r1", "r2", "r3"}
+    assert program.predicates() == {"p1"}
+
+
+def test_block_of():
+    program = assemble(IF_ELSE)
+    assert program.block_of(0).index == 0
+    assert program.block_of(4).start == 4
+    with pytest.raises(IndexError):
+        program.block_of(99)
+
+
+def test_hazard_keys_precomputed():
+    program = assemble(IF_ELSE)
+    setp = program[0]
+    assert set(setp.hazard_keys) == {"r:r1", "p:p1"}
+    assert setp.dst_key == "p:p1"
+    branch = program[1]
+    assert "p:p1" in branch.hazard_keys
+    assert branch.dst_key is None
+
+
+def test_hazard_keys_for_memory_ops():
+    program = assemble(
+        """
+        ld.global %r1, [%r2+4]
+        st.global [%r3], %r1
+        exit
+        """
+    )
+    load = program[0]
+    assert set(load.hazard_keys) == {"r:r1", "r:r2"}
+    store = program[1]
+    assert set(store.hazard_keys) == {"r:r1", "r:r3"}
+    assert store.dst_key is None  # stores do not write registers
+
+
+def test_instruction_addresses_are_8_bytes_apart():
+    program = assemble(IF_ELSE)
+    addresses = [instr.address for instr in program.instructions]
+    assert addresses == [8 * i for i in range(len(program))]
+
+
+def test_static_size():
+    assert assemble(LOOP).static_size == 5

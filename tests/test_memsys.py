@@ -1,0 +1,210 @@
+"""Global memory and the L1/L2/DRAM timing model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.coalescer import coalesce
+from repro.memory.memsys import GlobalMemory, MemorySubsystem
+from repro.sim.config import fermi_config
+
+# ------------------------------------------------------------- coalescer
+
+
+def test_coalesce_same_line():
+    addrs = np.array([0, 4, 8, 124])
+    assert coalesce(addrs, 128) == [0]
+
+
+def test_coalesce_distinct_lines():
+    addrs = np.array([0, 128, 256])
+    assert coalesce(addrs, 128) == [0, 128, 256]
+
+
+def test_coalesce_empty():
+    assert coalesce(np.array([], dtype=np.int64), 128) == []
+
+
+@given(st.lists(st.integers(0, 10_000), min_size=1, max_size=64))
+def test_coalesce_covers_all_addresses(addr_list):
+    addrs = np.array(addr_list, dtype=np.int64)
+    lines = coalesce(addrs, 128)
+    assert len(lines) == len(set(a // 128 for a in addr_list))
+    for addr in addr_list:
+        assert addr // 128 * 128 in lines
+    assert lines == sorted(lines)
+
+
+# --------------------------------------------------------- global memory
+
+
+def test_alloc_returns_byte_addresses():
+    mem = GlobalMemory(1024)
+    a = mem.alloc(10)
+    b = mem.alloc(10)
+    assert a % 4 == 0 and b % 4 == 0
+    assert b >= a + 40  # no overlap
+
+
+def test_alloc_alignment():
+    mem = GlobalMemory(1024)
+    mem.alloc(3)
+    b = mem.alloc(4, align_words=32)
+    assert (b // 4) % 32 == 0
+
+
+def test_alloc_exhaustion():
+    mem = GlobalMemory(64)
+    with pytest.raises(MemoryError):
+        mem.alloc(100)
+
+
+def test_read_write_roundtrip():
+    mem = GlobalMemory(256)
+    base = mem.alloc(8)
+    addrs = base + 4 * np.arange(8)
+    values = np.arange(8) * 3
+    mem.write(addrs, values)
+    assert (mem.read(addrs) == values).all()
+
+
+def test_out_of_bounds_rejected():
+    mem = GlobalMemory(16)
+    with pytest.raises(IndexError):
+        mem.read(np.array([16 * 4]))
+    with pytest.raises(IndexError):
+        mem.write(np.array([-4]), np.array([1]))
+
+
+def test_scalar_helpers():
+    mem = GlobalMemory(64)
+    mem.write_word(8, 42)
+    assert mem.read_word(8) == 42
+    mem.store_array(16, [1, 2, 3])
+    assert mem.load_array(16, 3).tolist() == [1, 2, 3]
+
+
+# ------------------------------------------------------------ timing model
+
+
+@pytest.fixture
+def memsys():
+    return MemorySubsystem(fermi_config(num_sms=2))
+
+
+def test_load_miss_then_hit_is_faster(memsys):
+    config = memsys.config
+    addrs = np.array([0, 4, 8])
+    miss = memsys.load(0, addrs, now=0)
+    hit = memsys.load(0, addrs, now=miss.completion)
+    assert miss.completion > config.l1_hit_latency
+    assert (
+        hit.completion - miss.completion == config.l1_hit_latency
+    )
+
+
+def test_load_counts_one_transaction_per_line(memsys):
+    addrs = np.array([0, 4, 128, 256])
+    result = memsys.load(0, addrs, now=0)
+    assert result.transactions == 3
+    assert memsys.stats.load_transactions == 3
+
+
+def test_bypass_l1_never_fills(memsys):
+    addrs = np.array([0])
+    memsys.load(0, addrs, now=0, bypass_l1=True)
+    assert memsys.stats.l1_hits == 0
+    assert memsys.stats.l1_misses == 0
+    assert not memsys.l1[0].probe(0)
+
+
+def test_l1_caches_are_per_sm(memsys):
+    addrs = np.array([0])
+    memsys.load(0, addrs, now=0)
+    assert memsys.l1[0].probe(0)
+    assert not memsys.l1[1].probe(0)
+
+
+def test_store_write_through_evicts_local_line(memsys):
+    addrs = np.array([0])
+    memsys.load(0, addrs, now=0)
+    assert memsys.l1[0].probe(0)
+    memsys.store(0, addrs, now=100)
+    assert not memsys.l1[0].probe(0)
+    assert memsys.stats.store_transactions == 1
+
+
+def test_store_leaves_remote_l1_stale(memsys):
+    """Fermi-faithful: no coherence traffic to other SMs' L1s."""
+    addrs = np.array([0])
+    memsys.load(1, addrs, now=0)
+    memsys.store(0, addrs, now=100)
+    assert memsys.l1[1].probe(0)  # stale line still resident remotely
+
+
+def test_atomics_bypass_and_invalidate_l1(memsys):
+    addrs = np.array([0])
+    memsys.load(0, addrs, now=0)
+    memsys.atomic(0, addrs, now=100)
+    assert not memsys.l1[0].probe(0)
+    assert memsys.stats.atomic_transactions == 1
+
+
+def test_atomic_dedupes_same_address_lanes(memsys):
+    addrs = np.array([0, 0, 0, 4])
+    result = memsys.atomic(0, addrs, now=0)
+    assert result.transactions == 2  # two unique addresses
+
+
+def test_atomics_serialize_at_the_bank(memsys):
+    """Back-to-back atomics to one (L2-resident) line queue up."""
+    addrs = np.array([0])
+    memsys.atomic(0, addrs, now=0)  # warm the L2 line
+    first = memsys.atomic(0, addrs, now=1000)
+    second = memsys.atomic(0, addrs, now=1000)
+    assert second.completion == (
+        first.completion + memsys.config.atomic_service_interval
+    )
+
+
+def test_atomic_storm_delays_loads_on_same_bank(memsys):
+    """The paper's spin-traffic effect: CAS storms slow the CS's loads."""
+    line = 0
+    quiet = memsys.load(0, np.array([line]), now=0, bypass_l1=True)
+    quiet_latency = quiet.completion
+    for _ in range(50):
+        memsys.atomic(0, np.array([line]), now=0)
+    busy = memsys.load(0, np.array([line]), now=0, bypass_l1=True)
+    assert busy.completion > quiet_latency * 2
+
+
+def test_sync_vs_other_classification(memsys):
+    memsys.load(0, np.array([0]), now=0, sync=True)
+    memsys.load(0, np.array([256]), now=0, sync=False)
+    assert memsys.stats.sync_transactions == 1
+    assert memsys.stats.other_transactions == 1
+
+
+def test_next_event_after(memsys):
+    assert memsys.next_event_after(0) is None
+    memsys.atomic(0, np.array([0]), now=0)
+    event = memsys.next_event_after(0)
+    assert event is not None and event > 0
+
+
+@given(st.lists(st.integers(0, 63), min_size=1, max_size=30))
+def test_completion_never_in_the_past(line_indices):
+    memsys = MemorySubsystem(fermi_config(num_sms=1))
+    now = 0
+    for index in line_indices:
+        result = memsys.load(0, np.array([index * 128]), now=now)
+        assert result.completion > now
+        now += 1
+
+
+def test_stats_totals():
+    memsys = MemorySubsystem(fermi_config(num_sms=1))
+    memsys.load(0, np.array([0]), now=0)
+    memsys.store(0, np.array([128]), now=0)
+    memsys.atomic(0, np.array([256]), now=0)
+    assert memsys.stats.total_transactions == 3

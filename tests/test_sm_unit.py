@@ -1,0 +1,175 @@
+"""SM internals: readiness, barriers, CTA retirement, occupancy, CAWA."""
+
+import numpy as np
+import pytest
+
+from repro.isa import assemble
+from repro.memory.memsys import GlobalMemory, MemorySubsystem
+from repro.metrics.stats import SimStats
+from repro.sim.config import fermi_config
+from repro.sim.sm import SM
+
+
+def make_sm(source="mov %r1, 0\nexit", config=None, **config_overrides):
+    if config is None:
+        config = fermi_config(num_sms=1, max_warps_per_sm=4,
+                              **config_overrides)
+    program = assemble(source)
+    memory = GlobalMemory(1 << 14)
+    sm = SM(0, config, program, {}, memory, MemorySubsystem(config), {},
+            SimStats())
+    return sm
+
+
+def test_launch_cta_fills_slots():
+    sm = make_sm()
+    sm.launch_cta(0, warps_per_cta=2, cta_dim=64, grid_dim=1, age_base=0)
+    assert len(sm.warps) == 2
+    assert sm.resident_ctas == 1
+    assert not sm.idle
+
+
+def test_capacity_checks():
+    sm = make_sm()
+    assert sm.can_accept_cta(4)
+    assert not sm.can_accept_cta(5)
+    sm.launch_cta(0, 4, 128, 1, 0)
+    assert not sm.can_accept_cta(1)
+    with pytest.raises(RuntimeError):
+        sm.launch_cta(1, 1, 32, 1, 4)
+
+
+def test_cta_limit():
+    sm = make_sm(config=fermi_config(num_sms=1, max_warps_per_sm=8,
+                                     max_ctas_per_sm=2))
+    sm.launch_cta(0, 1, 32, 4, 0)
+    sm.launch_cta(1, 1, 32, 4, 1)
+    assert not sm.can_accept_cta(1)  # CTA limit, not warp limit
+
+
+def test_warps_retire_and_slots_recycle():
+    sm = make_sm()
+    sm.launch_cta(0, 2, 64, 1, 0)
+    now = 0
+    while sm.warps:
+        issued = sm.step(now)
+        now += 1 if issued else 5
+        assert now < 10_000
+    assert sm.idle
+    assert sm.can_accept_cta(4)
+
+
+def test_ready_blocks_on_scoreboard():
+    sm = make_sm("""
+        ld.param %r_a, [x]
+        add %r_b, %r_a, 1
+        exit
+    """)
+    sm.params["x"] = 0
+    sm.launch_cta(0, 1, 32, 1, 0)
+    warp = next(iter(sm.warps.values()))
+    assert sm._ready(warp, 0)
+    sm._issue(warp, 0)  # ld.param reserves %r_a until +alu_latency
+    assert not sm._ready(warp, 1)
+    assert sm._ready(warp, sm.config.alu_latency)
+
+
+def test_next_event_reflects_scoreboard():
+    sm = make_sm("""
+        ld.param %r_a, [x]
+        add %r_b, %r_a, 1
+        exit
+    """)
+    sm.params["x"] = 0
+    sm.launch_cta(0, 1, 32, 1, 0)
+    warp = next(iter(sm.warps.values()))
+    sm._issue(warp, 0)
+    assert sm.next_event(0) == sm.config.alu_latency
+
+
+def test_barrier_blocks_until_all_arrive():
+    sm = make_sm("bar.sync\nexit")
+    sm.launch_cta(0, 2, 64, 1, 0)
+    warps = list(sm.warps.values())
+    sm._issue(warps[0], 0)
+    assert warps[0].at_barrier
+    assert not sm._ready(warps[0], 1)
+    sm._issue(warps[1], 1)
+    # Last arrival releases everyone.
+    assert not warps[0].at_barrier
+    assert not warps[1].at_barrier
+
+
+def test_barriers_are_per_cta():
+    sm = make_sm("bar.sync\nexit")
+    sm.launch_cta(0, 1, 32, 2, 0)
+    sm.launch_cta(1, 1, 32, 2, 1)
+    warps = {w.cta_id: w for w in sm.warps.values()}
+    sm._issue(warps[0], 0)
+    # CTA 0's single warp releases itself immediately; CTA 1 untouched.
+    assert not warps[0].at_barrier
+    assert not warps[1].at_barrier  # has not even reached the barrier
+
+
+def test_occupancy_accumulation():
+    sm = make_sm()
+    sm.launch_cta(0, 2, 64, 1, 0)
+    warps = list(sm.warps.values())
+    warps[0].backed_off = True
+    sm.accumulate_occupancy(10.0)
+    assert sm.stats.resident_warp_cycles == 20.0
+    assert sm.stats.backed_off_warp_cycles == 10.0
+
+
+def test_issue_counts_stats():
+    sm = make_sm()
+    sm.launch_cta(0, 1, 32, 1, 0)
+    warp = next(iter(sm.warps.values()))
+    sm._issue(warp, 0)
+    assert sm.stats.warp_instructions == 1
+    assert sm.stats.thread_instructions == 32
+    assert sm.stats.active_lane_sum == 32
+
+
+def test_sync_role_classification():
+    sm = make_sm("""
+        mov %r1, 0 !sync
+        mov %r2, 0
+        exit
+    """)
+    sm.launch_cta(0, 1, 32, 1, 0)
+    warp = next(iter(sm.warps.values()))
+    sm._issue(warp, 0)
+    sm._issue(warp, 10)
+    assert sm.stats.sync_thread_instructions == 32
+    assert sm.stats.useful_thread_instructions == 32
+
+
+def test_cawa_stall_charging():
+    config = fermi_config(num_sms=1, max_warps_per_sm=4,
+                          scheduler="cawa")
+    sm = make_sm(config=config, source="""
+        ld.param %r_a, [x]
+        add %r_b, %r_a, 1
+        exit
+    """)
+    sm.params["x"] = 0
+    sm.launch_cta(0, 2, 64, 1, 0)
+    warps = list(sm.warps.values())
+    sm.step(0)
+    # Warp that issued is not stalled; advance time and recharge.
+    sm.step(3)
+    stalls = [w.cawa_nstall for w in warps]
+    assert any(s > 0 for s in stalls) or all(
+        sm._ready(w, 3) for w in warps
+    )
+    assert all(w.cawa_cycles >= 0 for w in warps)
+
+
+def test_partial_cta_masks_invalid_lanes():
+    sm = make_sm()
+    sm.launch_cta(0, 2, cta_dim=40, grid_dim=1, age_base=0)
+    warps = sorted(sm.warps.values(), key=lambda w: w.warp_in_cta)
+    assert int(warps[0].stack.active_mask.sum()) == 32
+    assert int(warps[1].stack.active_mask.sum()) == 8
+    assert warps[1].profiled_lane == 0

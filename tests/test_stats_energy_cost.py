@@ -1,0 +1,152 @@
+"""Metrics containers, the energy model, and the Table III cost model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.cost import hardware_cost, history_bits_per_warp
+from repro.energy.model import EnergyCosts, EnergyModel
+from repro.memory.memsys import MemoryStats
+from repro.metrics.stats import LockStats, SimStats
+from repro.sim.config import DDOSConfig, fermi_config
+
+# ---------------------------------------------------------------- stats
+
+
+def test_lockstats_totals():
+    locks = LockStats(lock_success=3, inter_warp_fail=5, intra_warp_fail=2,
+                      wait_exit_success=1, wait_exit_fail=4)
+    assert locks.total == 15
+    assert locks.acquire_attempts == 10
+    assert locks.fail_rate == pytest.approx(0.7)
+
+
+def test_lockstats_empty_fail_rate():
+    assert LockStats().fail_rate == 0.0
+
+
+def test_simd_efficiency():
+    stats = SimStats(warp_instructions=10, active_lane_sum=160)
+    assert stats.simd_efficiency == pytest.approx(0.5)
+    assert SimStats().simd_efficiency == 0.0
+
+
+def test_backed_off_fraction():
+    stats = SimStats(backed_off_warp_cycles=25.0, resident_warp_cycles=100.0)
+    assert stats.backed_off_fraction == 0.25
+    assert SimStats().backed_off_fraction == 0.0
+
+
+def test_fraction_metrics():
+    stats = SimStats(thread_instructions=100, sync_thread_instructions=60)
+    assert stats.sync_instruction_fraction == 0.6
+    stats.memory.sync_transactions = 3
+    stats.memory.load_transactions = 4
+    assert stats.sync_transaction_fraction == pytest.approx(0.75)
+
+
+def test_merge_accumulates():
+    a = SimStats(warp_instructions=5, thread_instructions=100)
+    a.locks.lock_success = 2
+    a.memory.load_transactions = 7
+    b = SimStats(warp_instructions=3, thread_instructions=50)
+    b.locks.lock_success = 1
+    b.memory.load_transactions = 2
+    a.merge(b)
+    assert a.warp_instructions == 8
+    assert a.locks.lock_success == 3
+    assert a.memory.load_transactions == 9
+
+
+def test_summary_keys():
+    summary = SimStats().summary()
+    for key in ("cycles", "ipc", "simd_efficiency", "lock_success"):
+        assert key in summary
+
+
+# --------------------------------------------------------------- energy
+
+
+def make_stats(**kwargs) -> SimStats:
+    stats = SimStats(cycles=1000, warp_instructions=100,
+                     thread_instructions=3200)
+    for name, value in kwargs.items():
+        setattr(stats.memory, name, value)
+    return stats
+
+
+def test_energy_breakdown_sums():
+    model = EnergyModel(num_sms=2)
+    breakdown = model.evaluate(make_stats(l1_hits=10, l2_hits=5,
+                                          dram_accesses=2,
+                                          atomic_transactions=3))
+    assert breakdown.total_pj == pytest.approx(
+        breakdown.frontend_pj + breakdown.execution_pj
+        + breakdown.memory_pj + breakdown.clocking_pj
+    )
+    assert breakdown.total_pj > 0
+
+
+def test_energy_scales_with_instructions():
+    model = EnergyModel()
+    low = model.evaluate(make_stats())
+    busy = make_stats()
+    busy.warp_instructions *= 10
+    busy.thread_instructions *= 10
+    high = model.evaluate(busy)
+    assert high.total_pj > low.total_pj
+
+
+def test_dram_dominates_sram():
+    costs = EnergyCosts()
+    assert costs.dram_access_pj > costs.l2_access_pj > costs.l1_access_pj
+
+
+@given(st.integers(0, 10**6), st.integers(0, 10**6))
+def test_energy_monotone_in_memory_traffic(l1, dram):
+    model = EnergyModel()
+    a = model.evaluate(make_stats(l1_hits=l1, dram_accesses=dram))
+    b = model.evaluate(make_stats(l1_hits=l1 + 1, dram_accesses=dram + 1))
+    assert b.total_pj > a.total_pj
+
+
+# ----------------------------------------------------------------- cost
+
+
+def test_paper_cost_numbers():
+    config = fermi_config(ddos=DDOSConfig())
+    cost = hardware_cost(config)
+    assert cost.sib_pt_bits == 560        # 16 x 35
+    assert cost.history_bits == 9216      # 48 x 192
+    assert cost.pending_delay_bits == 672  # 48 x 14
+    assert cost.ddos_bits == 560 + 9216
+
+
+def test_history_bits_per_warp_matches_paper():
+    assert history_bits_per_warp(DDOSConfig()) == 192
+
+
+def test_time_sharing_shrinks_history_cost():
+    shared = hardware_cost(
+        fermi_config(ddos=DDOSConfig(time_sharing=True)))
+    private = hardware_cost(fermi_config(ddos=DDOSConfig()))
+    assert shared.history_bits == private.history_bits // 48
+
+
+@given(
+    bits=st.sampled_from([2, 3, 4, 8]),
+    length=st.sampled_from([1, 2, 4, 8, 16]),
+)
+def test_history_cost_formula(bits, length):
+    ddos = DDOSConfig(path_bits=bits, value_bits=bits,
+                      history_length=length)
+    assert history_bits_per_warp(ddos) == 3 * bits * length
+
+
+def test_cost_uses_default_ddos_when_absent():
+    cost = hardware_cost(fermi_config())
+    assert cost.history_bits == 9216
+
+
+def test_total_bytes():
+    cost = hardware_cost(fermi_config(ddos=DDOSConfig()))
+    assert cost.total_bytes == cost.total_bits / 8

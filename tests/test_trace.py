@@ -1,0 +1,90 @@
+"""Execution tracer: capture, filtering, ring-buffer behaviour."""
+
+from repro.isa import assemble
+from repro.memory.memsys import GlobalMemory
+from repro.sim.gpu import GPU, KernelLaunch
+from repro.sim.trace import TraceRecord, Tracer
+
+SOURCE = """
+    mov %r_i, 0
+LOOP:
+    add %r_i, %r_i, 1
+    setp.lt %p1, %r_i, 4
+    @%p1 bra LOOP
+    exit
+"""
+
+
+def run_traced(tracer, config):
+    program = assemble(SOURCE)
+    gpu = GPU(config, memory=GlobalMemory(1 << 12), tracer=tracer)
+    gpu.launch(KernelLaunch(program, 1, 32))
+    return gpu
+
+
+def test_tracer_records_every_issue(tiny_config):
+    tracer = Tracer()
+    run_traced(tracer, tiny_config)
+    records = tracer.records()
+    # 1 mov + 4 x (add, setp, bra) + exit = 14 issues.
+    assert len(records) == 14
+    assert records[0].opcode == "mov"
+    assert records[-1].opcode == "exit"
+
+
+def test_records_carry_warp_identity(tiny_config):
+    tracer = Tracer()
+    run_traced(tracer, tiny_config)
+    record = tracer.records()[0]
+    assert record.sm_id == 0
+    assert record.cta_id == 0
+    assert record.active_lanes == 32
+    assert not record.backed_off
+
+
+def test_cycles_are_monotonic_per_warp(tiny_config):
+    tracer = Tracer()
+    run_traced(tracer, tiny_config)
+    cycles = [r.cycle for r in tracer.records()]
+    assert cycles == sorted(cycles)
+
+
+def test_ring_buffer_caps_and_counts_drops(tiny_config):
+    tracer = Tracer(capacity=5)
+    run_traced(tracer, tiny_config)
+    assert len(tracer) == 5
+    assert tracer.dropped == 14 - 5
+    # The newest records survive.
+    assert tracer.records()[-1].opcode == "exit"
+
+
+def test_predicate_filtering(tiny_config):
+    tracer = Tracer(predicate=lambda r: r.opcode == "bra")
+    run_traced(tracer, tiny_config)
+    assert len(tracer) == 4
+    assert all(r.opcode == "bra" for r in tracer.records())
+
+
+def test_clear(tiny_config):
+    tracer = Tracer()
+    run_traced(tracer, tiny_config)
+    tracer.clear()
+    assert len(tracer) == 0 and tracer.dropped == 0
+
+
+def test_record_str_format():
+    record = TraceRecord(cycle=12, sm_id=0, warp_slot=3, cta_id=1,
+                         pc=7, opcode="add", active_lanes=32,
+                         backed_off=True)
+    text = str(record)
+    assert "SM0" in text and "w03" in text and "add" in text
+    assert text.endswith(" B")
+
+
+def test_attach_helper(tiny_config):
+    tracer = Tracer()
+    program = assemble(SOURCE)
+    gpu = GPU(tiny_config, memory=GlobalMemory(1 << 12))
+    tracer.attach(gpu)
+    gpu.launch(KernelLaunch(program, 1, 32))
+    assert len(tracer) == 14
