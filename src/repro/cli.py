@@ -5,8 +5,18 @@ Usage::
     python -m repro list                      # what can run
     python -m repro experiment fig9           # regenerate Figure 9
     python -m repro experiment tab1 --scale quick
+    python -m repro experiment fig10 --workers 8      # parallel + cached
     python -m repro run ht --scheduler gto --bows adaptive
     python -m repro run ht --param n_buckets=8 --param n_threads=512
+    python -m repro sweep --kernel ht --kernel tsp --bows none,1000,adaptive
+    python -m repro cache stats
+    python -m repro cache clear [--stale-only]
+
+``experiment`` and ``sweep`` execute through :mod:`repro.lab`: runs fan
+out over a process pool and completed simulations land in the on-disk
+result cache (``.lab_cache/`` by default), so regenerating a figure
+twice — or regenerating Figures 10-13, which share one delay sweep — is
+a cache hit instead of hours of re-simulation.
 """
 
 from __future__ import annotations
@@ -17,8 +27,10 @@ import time
 from typing import List, Optional
 
 from repro.harness.experiments import ALL_EXPERIMENTS, run_delay_sweep
+from repro.harness.reporting import format_table
 from repro.harness.runner import make_config, run_workload
 from repro.kernels import build as build_workload, kernel_names
+from repro.lab import ResultCache, Runner, Sweep, use_runner
 
 
 def _parse_params(items: List[str]) -> dict:
@@ -37,6 +49,29 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _make_lab_runner(args) -> Runner:
+    """Build a lab runner from the shared --workers/--no-cache flags."""
+    import os
+
+    workers = args.workers
+    if workers is None or workers <= 0:
+        workers = os.cpu_count() or 1
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    progress = print if getattr(args, "progress", False) else None
+    return Runner(workers=workers, cache=cache, progress=progress)
+
+
+def _add_lab_options(parser) -> None:
+    parser.add_argument("--workers", type=int, default=None,
+                        help="parallel worker processes (default: CPU count)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the on-disk result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache directory (default: .lab_cache)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print per-run progress lines")
+
+
 def _cmd_experiment(args) -> int:
     name = args.name
     if name not in ALL_EXPERIMENTS:
@@ -46,16 +81,96 @@ def _cmd_experiment(args) -> int:
         )
     func = ALL_EXPERIMENTS[name]
     start = time.time()
-    if name in ("fig10", "fig11", "fig12", "fig13"):
-        sweep = run_delay_sweep(scale=args.scale)
-        result = func(sweep=sweep)
-    elif name == "tab3":
-        result = func()
-    else:
-        result = func(scale=args.scale)
+    runner = _make_lab_runner(args)
+    with use_runner(runner):
+        if name in ("fig10", "fig11", "fig12", "fig13"):
+            sweep = run_delay_sweep(scale=args.scale)
+            result = func(sweep=sweep)
+        elif name == "tab3":
+            result = func()
+        else:
+            result = func(scale=args.scale)
     print(result.render())
-    print(f"\n[{name} regenerated in {time.time() - start:.1f}s]")
+    report = runner.last_report
+    detail = ""
+    if report is not None:
+        detail = (f"; {report.total} runs, {report.cache_hits} cached, "
+                  f"{report.executed} simulated")
+    print(f"\n[{name} regenerated in {time.time() - start:.1f}s{detail}]")
     return 0
+
+
+def _parse_bows_axis(values: List[str]) -> List[object]:
+    axis: List[object] = []
+    for chunk in values:
+        for item in chunk.split(","):
+            item = item.strip()
+            if item in ("none", "off", ""):
+                axis.append(None)
+            elif item == "adaptive":
+                axis.append("adaptive")
+            else:
+                try:
+                    axis.append(int(item))
+                except ValueError:
+                    raise SystemExit(
+                        f"--bows expects 'none', 'adaptive', or an integer "
+                        f"delay in cycles, got {item!r}") from None
+    return axis or [None]
+
+
+def _cmd_sweep(args) -> int:
+    kernels = args.kernel or ["ht"]
+    schedulers = [s for chunk in (args.scheduler or ["gto"])
+                  for s in chunk.split(",")]
+    sweep = Sweep(
+        args.name,
+        kernel=kernels,
+        scheduler=schedulers,
+        bows=_parse_bows_axis(args.bows or []),
+    )
+    sweep.axis("preset", [args.preset])
+    sweep.axis("scale", [args.scale])
+    for item in args.param:
+        if "=" not in item:
+            raise SystemExit(f"--param expects name=value[,value...], "
+                             f"got {item!r}")
+        name, values = item.split("=", 1)
+        try:
+            sweep.axis(name, [int(v) for v in values.split(",")])
+        except ValueError:
+            raise SystemExit(f"--param {name} values must be integers, "
+                             f"got {values!r}") from None
+    start = time.time()
+    result = sweep.run(runner=_make_lab_runner(args))
+    rows = [
+        {k: v for k, v in row.items() if k not in ("preset", "scale")}
+        for row in result.rows()
+    ]
+    print(format_table(rows, title=f"sweep {args.name!r} "
+                                   f"({len(rows)} runs, {args.scale} scale)"))
+    report = result.report
+    print(f"\n[{report.total} runs: {report.cache_hits} cached, "
+          f"{report.executed} simulated, {len(report.failures)} failed "
+          f"in {time.time() - start:.1f}s]")
+    if args.manifest:
+        result.write_manifest(args.manifest)
+        print(f"[manifest written to {args.manifest}]")
+    return 1 if report.failures else 0
+
+
+def _cmd_cache(args) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "stats":
+        print(cache.stats().render())
+        return 0
+    if args.cache_command == "clear":
+        removed = cache.clear(stale_only=args.stale_only)
+        what = "stale " if args.stale_only else ""
+        print(f"removed {removed} {what}cached result(s) "
+              f"from {cache.directory}")
+        return 0
+    raise SystemExit(2)
 
 
 def _cmd_run(args) -> int:
@@ -100,6 +215,42 @@ def main(argv: Optional[List[str]] = None) -> int:
     exp = sub.add_parser("experiment", help="regenerate a paper artifact")
     exp.add_argument("name", help="fig1..fig16 / tab1 / tab3")
     exp.add_argument("--scale", choices=("full", "quick"), default="full")
+    _add_lab_options(exp)
+
+    swp = sub.add_parser(
+        "sweep",
+        help="run a cartesian (kernel x scheduler x bows) sweep",
+    )
+    swp.add_argument("--name", default="cli-sweep",
+                     help="sweep name (manifest/reporting)")
+    swp.add_argument("--kernel", action="append", default=[],
+                     choices=kernel_names(), metavar="KERNEL",
+                     help="kernel to include (repeatable; default: ht)")
+    swp.add_argument("--scheduler", action="append", default=[],
+                     metavar="POLICY[,POLICY...]",
+                     help="base scheduler axis (default: gto)")
+    swp.add_argument("--bows", action="append", default=[],
+                     metavar="LIMIT[,LIMIT...]",
+                     help="BOWS axis: 'none', a delay limit, or 'adaptive'")
+    swp.add_argument("--preset", choices=("fermi", "pascal"),
+                     default="fermi")
+    swp.add_argument("--scale", choices=("full", "quick"), default="quick")
+    swp.add_argument("--param", action="append", default=[],
+                     metavar="NAME=VALUE[,VALUE...]",
+                     help="workload parameter axis (repeatable)")
+    swp.add_argument("--manifest", default=None,
+                     help="write the sweep manifest JSON to this path")
+    _add_lab_options(swp)
+
+    cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    stats = cache_sub.add_parser("stats", help="entry counts and sizes")
+    clear = cache_sub.add_parser("clear", help="delete cached results")
+    clear.add_argument("--stale-only", action="store_true",
+                       help="only drop entries from old code fingerprints")
+    for sub_parser in (stats, clear):
+        sub_parser.add_argument("--cache-dir", default=None,
+                                help="cache directory (default: .lab_cache)")
 
     run = sub.add_parser("run", help="simulate one kernel")
     run.add_argument("kernel", choices=kernel_names())
@@ -122,6 +273,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_experiment(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     raise SystemExit(2)
 
 

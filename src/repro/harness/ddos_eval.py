@@ -17,8 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.harness.runner import make_config, run_workload
-from repro.kernels import build as build_workload
+from repro.harness.runner import make_config
 from repro.sim.config import DDOSConfig, GPUConfig
 from repro.sim.gpu import SimResult
 
@@ -143,12 +142,27 @@ def evaluate_ddos(
     kernel_params: Optional[Dict[str, Dict]] = None,
     base_config: Optional[GPUConfig] = None,
 ) -> AccuracySummary:
-    """Run ``kernels`` with DDOS enabled (no BOWS) and score detections."""
+    """Run ``kernels`` with DDOS enabled (no BOWS) and score detections.
+
+    Execution fans out through the current :mod:`repro.lab` runner; the
+    per-kernel :class:`DetectionOutcome` is computed inside the worker
+    and travels back (and through the result cache) as plain data.
+    """
+    # Imported lazily: the lab executes through this module's
+    # score_result, so a top-level import would be circular.
+    from repro.lab import RunSpec, current_runner
+
     kernel_params = kernel_params or {}
-    outcomes = []
+    specs = []
     for name in kernels:
         config = (base_config or make_config("gto")).replace(ddos=ddos)
-        workload = build_workload(name, **kernel_params.get(name, {}))
-        result = run_workload(workload, config)
-        outcomes.append(score_result(name, result))
+        specs.append(RunSpec(
+            kernel=name, config=config,
+            params=dict(kernel_params.get(name, {})),
+            label=f"ddos {name}",
+        ))
+    outcomes = []
+    for run in current_runner().run_map(specs):
+        assert run.ddos is not None, "DDOS scoring missing from run result"
+        outcomes.append(DetectionOutcome(**run.ddos))
     return summarize(outcomes)

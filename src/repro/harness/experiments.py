@@ -9,6 +9,16 @@ EXPERIMENTS.md records paper-vs-measured for each.
 Figures 10-13 share one parameter sweep (the same GTO+BOWS delay-limit
 runs); :func:`run_delay_sweep` executes it once and the four figure
 functions project different columns out of it.
+
+Execution goes through :mod:`repro.lab`: every figure/table expands its
+simulations into :class:`~repro.lab.RunSpec` batches and drives them
+through the *current* lab runner (``repro.lab.current_runner()``).  The
+default runner is serial and uncached — identical behaviour to the old
+in-line loops — but installing a parallel, disk-cached runner (as the
+CLI and ``benchmarks/`` do) fans each figure out across worker
+processes and makes re-runs cache hits.  Results come back as
+:class:`~repro.lab.RunResult` records exposing the same ``.cycles`` and
+``.stats`` the figures read.
 """
 
 from __future__ import annotations
@@ -24,12 +34,11 @@ from repro.harness.params import (
     sync_params,
 )
 from repro.harness.reporting import format_table, geomean
-from repro.harness.runner import make_config, run_workload
+from repro.harness.runner import make_config
 from repro.core.cost import hardware_cost
-from repro.kernels import build as build_workload
+from repro.lab import RunResult, RunSpec, current_runner
 from repro.metrics.stats import SimStats
 from repro.sim.config import DDOSConfig, GPUConfig
-from repro.sim.gpu import SimResult
 
 #: Scheduler set of Figures 2, 9, 15.
 BASELINES = ("lrr", "gto", "cawa")
@@ -64,10 +73,20 @@ class ExperimentResult:
         return text
 
 
+def _spec(kernel: str, config: GPUConfig, params: dict,
+          validate: bool = True, label: Optional[str] = None) -> RunSpec:
+    return RunSpec(kernel=kernel, config=config, params=dict(params),
+                   validate=validate, label=label or kernel)
+
+
+def _run_all(specs: Sequence[RunSpec]) -> List[RunResult]:
+    """Execute a batch through the current lab runner (raises on failure)."""
+    return current_runner().run_map(specs)
+
+
 def _run(kernel: str, config: GPUConfig, params: dict,
-         validate: bool = True) -> SimResult:
-    workload = build_workload(kernel, **params)
-    return run_workload(workload, config, validate=validate)
+         validate: bool = True) -> RunResult:
+    return _run_all([_spec(kernel, config, params, validate)])[0]
 
 
 def _bows_variant(base: str, bows, preset: str = "fermi",
@@ -93,17 +112,25 @@ def fig1(scale: str = "full",
     if buckets is None:
         buckets = (8, 16, 32, 64, 128) if scale == "full" else (8, 32)
     cpu = CPUModel()
-    rows = []
+    specs = []
     for n_buckets in buckets:
         p = dict(params, n_buckets=n_buckets)
-        result = _run("ht", make_config("gto"), p)
-        stats = result.stats
-        n_insertions = p["n_threads"] * p["items_per_thread"]
-        single = _run(
+        specs.append(_spec("ht", make_config("gto"), p,
+                           label=f"ht buckets={n_buckets}"))
+        specs.append(_spec(
             "ht",
             make_config("gto", num_sms=1, max_warps_per_sm=1),
             dict(p, n_threads=32, block_dim=32),
-        )
+            label=f"ht buckets={n_buckets} single-warp",
+        ))
+    runs = iter(_run_all(specs))
+    rows = []
+    for n_buckets in buckets:
+        p = dict(params, n_buckets=n_buckets)
+        result = next(runs)
+        single = next(runs)
+        stats = result.stats
+        n_insertions = p["n_threads"] * p["items_per_thread"]
         rows.append({
             "buckets": n_buckets,
             "gpu_us": round(gpu_time_us(result.cycles), 1),
@@ -155,11 +182,17 @@ def fig2(scale: str = "full",
     """
     params = sync_params(scale)
     kernels = list(kernels or KERNEL_ORDER)
+    specs = [
+        _spec(kernel, make_config(scheme), params[kernel],
+              label=f"{kernel} {scheme}")
+        for kernel in kernels for scheme in BASELINES
+    ]
+    runs = iter(_run_all(specs))
     rows = []
     for kernel in kernels:
         lrr_total: Optional[float] = None
         for scheme in BASELINES:
-            result = _run(kernel, make_config(scheme), params[kernel])
+            result = next(runs)
             if lrr_total is None:
                 lrr_total = float(result.stats.locks.total or 1)
             rows.append(_lock_row(kernel, scheme, result.stats, lrr_total))
@@ -195,14 +228,21 @@ def fig3(scale: str = "full",
     energy overhead relative to BOWS.
     """
     params = sync_params(scale)["ht"]
-    rows = []
-    baseline = None
+    specs = []
     for factor in delay_factors:
         if factor == 0:
-            result = _run("ht", make_config("gto"), params)
+            specs.append(_spec("ht", make_config("gto"), params,
+                               label="ht no-delay"))
         else:
-            result = _run("ht_backoff", make_config("gto"),
-                          dict(params, delay_factor=factor))
+            specs.append(_spec("ht_backoff", make_config("gto"),
+                               dict(params, delay_factor=factor),
+                               label=f"ht sw-delay({factor})"))
+    specs.append(_spec("ht", make_config("gto", bows=True), params,
+                       label="ht bows"))
+    *delay_runs, bows = _run_all(specs)
+    rows = []
+    baseline = None
+    for factor, result in zip(delay_factors, delay_runs):
         if baseline is None:
             baseline = result
         rows.append({
@@ -214,7 +254,6 @@ def fig3(scale: str = "full",
                 result.stats.dynamic_energy_pj
                 / baseline.stats.dynamic_energy_pj, 3),
         })
-    bows = _run("ht", make_config("gto", bows=True), params)
     rows.append({
         "scheme": "BOWS (hardware)",
         "normalized_time": round(bows.cycles / baseline.cycles, 3),
@@ -325,6 +364,16 @@ def _bows_matrix(scale: str, preset: str,
                  ) -> ExperimentResult:
     params = sync_params(scale)
     kernels = list(kernels or KERNEL_ORDER)
+    specs = []
+    for kernel in kernels:
+        for base in BASELINES:
+            specs.append(_spec(kernel, _bows_variant(base, None, preset),
+                               params[kernel],
+                               label=f"{kernel} {base} {preset}"))
+            specs.append(_spec(kernel, _bows_variant(base, True, preset),
+                               params[kernel],
+                               label=f"{kernel} {base}+bows {preset}"))
+    runs = iter(_run_all(specs))
     rows = []
     speedups: Dict[str, List[float]] = {b: [] for b in BASELINES}
     energy_savings: Dict[str, List[float]] = {b: [] for b in BASELINES}
@@ -333,10 +382,8 @@ def _bows_matrix(scale: str, preset: str,
         lrr_cycles = None
         lrr_energy = None
         for base in BASELINES:
-            plain = _run(kernel, _bows_variant(base, None, preset),
-                         params[kernel])
-            bows = _run(kernel, _bows_variant(base, True, preset),
-                        params[kernel])
+            plain = next(runs)
+            bows = next(runs)
             if lrr_cycles is None:
                 lrr_cycles = plain.cycles
                 lrr_energy = plain.stats.dynamic_energy_pj
@@ -384,11 +431,12 @@ def run_delay_sweep(
     scale: str = "full",
     kernels: Optional[Sequence[str]] = None,
     delays: Sequence = DELAY_SWEEP,
-) -> Dict[Tuple[str, object], SimResult]:
+) -> Dict[Tuple[str, object], RunResult]:
     """GTO + BOWS at each delay limit, for each kernel (Figures 10-13)."""
     params = sync_params(scale)
     kernels = list(kernels or KERNEL_ORDER)
-    results: Dict[Tuple[str, object], SimResult] = {}
+    keys: List[Tuple[str, object]] = []
+    specs: List[RunSpec] = []
     for kernel in kernels:
         for delay in delays:
             if delay is None:
@@ -397,13 +445,15 @@ def run_delay_sweep(
                 config = make_config("gto", bows=True)
             else:
                 config = make_config("gto", bows=int(delay))
-            results[(kernel, delay)] = _run(kernel, config, params[kernel])
-    return results
+            keys.append((kernel, delay))
+            specs.append(_spec(kernel, config, params[kernel],
+                               label=f"{kernel} delay={delay}"))
+    return dict(zip(keys, _run_all(specs)))
 
 
 def _sweep_table(
-    sweep: Dict[Tuple[str, object], SimResult],
-    value: Callable[[SimResult], float],
+    sweep: Dict[Tuple[str, object], RunResult],
+    value: Callable[[RunResult], float],
     normalize_to_gto: bool,
     fmt: Callable[[float], object] = lambda v: round(v, 3),
 ) -> List[Dict[str, object]]:
@@ -532,21 +582,30 @@ def fig14(scale: str = "full",
     kernels = ["ms", "hl", "kmeans", "vecadd"]
     if scale == "full":
         kernels.append("reduction")
-    rows = []
-    slowdowns = []
+    largest = delays[-1]
+    specs = []
     for kernel in kernels:
-        base = _run(kernel, make_config("gto"), free[kernel])
-        row: Dict[str, object] = {"kernel": kernel, "gto": 1.0}
+        specs.append(_spec(kernel, make_config("gto"), free[kernel],
+                           label=f"{kernel} gto"))
         for delay in delays:
             modulo = make_config(
                 "gto", bows=int(delay),
                 ddos=DDOSConfig(hashing="modulo"),
             )
-            result = _run(kernel, modulo, free[kernel])
+            specs.append(_spec(kernel, modulo, free[kernel],
+                               label=f"{kernel} modulo({delay})"))
+        specs.append(_spec(kernel, make_config("gto", bows=int(largest)),
+                           free[kernel], label=f"{kernel} xor({largest})"))
+    runs = iter(_run_all(specs))
+    rows = []
+    slowdowns = []
+    for kernel in kernels:
+        base = next(runs)
+        row: Dict[str, object] = {"kernel": kernel, "gto": 1.0}
+        for delay in delays:
+            result = next(runs)
             row[f"bows({delay})"] = round(result.cycles / base.cycles, 3)
-        largest = delays[-1]
-        xor_cfg = make_config("gto", bows=int(largest))
-        xor_result = _run(kernel, xor_cfg, free[kernel])
+        xor_result = next(runs)
         row[f"bows({largest})+xor"] = round(
             xor_result.cycles / base.cycles, 3)
         rows.append(row)
@@ -575,14 +634,23 @@ def fig16(scale: str = "full",
     params = sync_params(scale)["ht"]
     if buckets is None:
         buckets = (8, 16, 32, 64, 128) if scale == "full" else (8, 32)
+    specs = []
+    for n_buckets in buckets:
+        p = dict(params, n_buckets=n_buckets)
+        specs.append(_spec("ht", make_config("gto"), p,
+                           label=f"ht buckets={n_buckets} gto"))
+        specs.append(_spec("ht", make_config("gto", bows=True), p,
+                           label=f"ht buckets={n_buckets} bows"))
+        specs.append(_spec("ht", make_config("gto", magic_locks=True), p,
+                           validate=False,
+                           label=f"ht buckets={n_buckets} ideal"))
+    runs = iter(_run_all(specs))
     rows = []
     speedups = []
     for n_buckets in buckets:
-        p = dict(params, n_buckets=n_buckets)
-        base = _run("ht", make_config("gto"), p)
-        bows = _run("ht", make_config("gto", bows=True), p)
-        ideal = _run("ht", make_config("gto", magic_locks=True), p,
-                     validate=False)
+        base = next(runs)
+        bows = next(runs)
+        ideal = next(runs)
         base_instr = float(base.stats.thread_instructions)
         speedup = base.cycles / bows.cycles
         speedups.append(speedup)

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from repro.kernels import build as build_workload
-from repro.kernels.base import Workload
+from repro.kernels.base import Workload, WorkloadReuseError
 from repro.sim.config import BOWSConfig, DDOSConfig, GPUConfig
 from repro.sim.config import fermi_config, pascal_config
 from repro.sim.gpu import GPU, SimResult
@@ -74,7 +74,20 @@ def make_config(
 
 def run_workload(workload: Workload, config: GPUConfig,
                  validate: bool = True) -> SimResult:
-    """Simulate ``workload`` under ``config`` (validating the result)."""
+    """Simulate ``workload`` under ``config`` (validating the result).
+
+    A workload is single-use: execution mutates its memory image, so a
+    second run would start from corrupted state and produce garbage
+    results.  Re-running a consumed workload raises
+    :class:`~repro.kernels.base.WorkloadReuseError`.
+    """
+    if workload.consumed:
+        raise WorkloadReuseError(
+            f"workload {workload.name!r} has already been executed and its "
+            f"memory image mutated; build a fresh one with "
+            f"repro.kernels.build({workload.name!r}, ...) for every run"
+        )
+    workload.consumed = True
     gpu = GPU(config, memory=workload.memory)
     result = gpu.launch(workload.launch)
     if validate and not config.magic_locks:

@@ -21,7 +21,7 @@ the MODULO-hash false-detection trigger), ``hl`` (heart-wall-style),
 ``vecadd``, ``reduction``, ``stencil``, ``histogram``.
 """
 
-from repro.kernels.base import Workload, WorkloadError
+from repro.kernels.base import Workload, WorkloadError, WorkloadReuseError
 from repro.kernels.hashtable import build_hashtable, build_hashtable_backoff
 from repro.kernels.atm import build_atm
 from repro.kernels.tsp import build_tsp
@@ -78,6 +78,7 @@ __all__ = [
     "SYNC_KERNELS",
     "Workload",
     "WorkloadError",
+    "WorkloadReuseError",
     "build",
     "kernel_names",
 ]

@@ -19,6 +19,10 @@ class WorkloadError(AssertionError):
     """A post-run validation failed: the kernel computed a wrong result."""
 
 
+class WorkloadReuseError(RuntimeError):
+    """A Workload was executed twice: its memory image is already mutated."""
+
+
 @dataclass
 class Workload:
     """A runnable, verifiable kernel instance."""
@@ -29,6 +33,9 @@ class Workload:
     validate: Callable[[GlobalMemory], None]
     #: Free-form workload facts (sizes, contention knobs) for reporting.
     meta: Dict[str, int] = field(default_factory=dict)
+    #: Set by the harness once this workload has been executed; running
+    #: mutates ``memory``, so a consumed workload must never run again.
+    consumed: bool = False
 
     @property
     def n_threads(self) -> int:

@@ -1,0 +1,168 @@
+"""On-disk content-addressed result cache.
+
+Entries live under ``<cache_dir>/<code_fingerprint>/<spec_hash>.json``.
+The spec hash covers everything that determines a simulation's outcome
+(kernel, params, seed, full GPU config); the code fingerprint covers the
+simulator itself — a SHA-256 over every ``.py`` file of the ``repro``
+package — so editing any simulator source invalidates prior results
+wholesale rather than serving stale numbers.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent sweep
+workers and parallel pytest sessions can share one cache directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.lab.results import RunResult
+from repro.lab.spec import RunSpec, _json_default
+
+#: Default cache location (relative to the current working directory);
+#: override with the REPRO_LAB_CACHE_DIR environment variable.
+DEFAULT_CACHE_DIR = ".lab_cache"
+
+_fingerprint_memo: Optional[str] = None
+
+
+def default_cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_LAB_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over the sources of the ``repro`` package (memoized)."""
+    global _fingerprint_memo
+    if _fingerprint_memo is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _fingerprint_memo = digest.hexdigest()
+    return _fingerprint_memo
+
+
+@dataclass
+class CacheStats:
+    """Summary for ``repro cache stats``."""
+
+    directory: str
+    entries: int
+    size_bytes: int
+    current_entries: int
+    stale_entries: int
+    fingerprint: str
+
+    def render(self) -> str:
+        mib = self.size_bytes / (1024 * 1024)
+        return (
+            f"cache directory : {self.directory}\n"
+            f"entries         : {self.entries} ({mib:.2f} MiB)\n"
+            f"  current code  : {self.current_entries}\n"
+            f"  stale code    : {self.stale_entries}\n"
+            f"code fingerprint: {self.fingerprint[:16]}"
+        )
+
+
+class ResultCache:
+    """Content-addressed store of :class:`RunResult` records."""
+
+    def __init__(self, directory=None,
+                 fingerprint: Optional[str] = None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self._fingerprint = fingerprint
+
+    @property
+    def fingerprint(self) -> str:
+        if self._fingerprint is None:
+            self._fingerprint = code_fingerprint()
+        return self._fingerprint
+
+    def _entry_path(self, spec_hash: str) -> Path:
+        return self.directory / self.fingerprint[:16] / f"{spec_hash}.json"
+
+    # ------------------------------------------------------------------
+
+    def get(self, spec: RunSpec) -> Optional[RunResult]:
+        """Return the cached result for ``spec``, or ``None`` on a miss.
+
+        A corrupt or unreadable entry counts as a miss (it will be
+        overwritten by the fresh run), never as an error.
+        """
+        path = self._entry_path(spec.content_hash())
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            result = RunResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        result.from_cache = True
+        result.label = spec.label
+        return result
+
+    def put(self, spec: RunSpec, result: RunResult) -> Path:
+        """Persist ``result`` under the spec's content hash (atomic)."""
+        path = self._entry_path(spec.content_hash())
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": 1,
+            "fingerprint": self.fingerprint,
+            "spec": spec.to_dict(),
+            "result": result.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, default=_json_default)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        entries = size = current = stale = 0
+        current_dir = self.fingerprint[:16]
+        if self.directory.is_dir():
+            for path in self.directory.rglob("*.json"):
+                entries += 1
+                size += path.stat().st_size
+                if path.parent.name == current_dir:
+                    current += 1
+                else:
+                    stale += 1
+        return CacheStats(
+            directory=str(self.directory),
+            entries=entries,
+            size_bytes=size,
+            current_entries=current,
+            stale_entries=stale,
+            fingerprint=self.fingerprint,
+        )
+
+    def clear(self, stale_only: bool = False) -> int:
+        """Delete cached entries; returns how many were removed."""
+        if not self.directory.is_dir():
+            return 0
+        removed = 0
+        current_dir = self.fingerprint[:16]
+        for child in list(self.directory.iterdir()):
+            if not child.is_dir():
+                continue
+            if stale_only and child.name == current_dir:
+                continue
+            removed += sum(1 for _ in child.glob("*.json"))
+            shutil.rmtree(child, ignore_errors=True)
+        return removed

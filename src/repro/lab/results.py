@@ -1,0 +1,101 @@
+"""Run outcomes: serializable success and failure records.
+
+A :class:`RunResult` carries everything the experiment layer reads off a
+simulation — cycle count, the full :class:`~repro.metrics.stats.SimStats`
+counters, DDOS detection records when DDOS was on — but none of the
+heavyweight simulation state (memory images, SM objects), so it is cheap
+to ship across process boundaries and to persist in the result cache.
+
+A :class:`RunFailure` is the structured alternative when a run could not
+produce a result: it records the error, how many attempts were made, and
+whether the failure was classified transient.  A sweep never raises out
+of a single bad run; callers that need all results use
+:meth:`~repro.lab.runner.Runner.run_map`, which raises a summarizing
+:class:`LabError` only after the whole batch has been driven.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.memory.memsys import MemoryStats
+from repro.metrics.stats import LockStats, SimStats
+
+from repro.lab.spec import RunSpec
+
+
+class LabError(RuntimeError):
+    """A batch could not be completed (see the failure records)."""
+
+
+def stats_to_dict(stats: SimStats) -> Dict[str, Any]:
+    return dataclasses.asdict(stats)
+
+
+def stats_from_dict(data: Dict[str, Any]) -> SimStats:
+    data = dict(data)
+    data["locks"] = LockStats(**data.get("locks", {}))
+    data["memory"] = MemoryStats(**data.get("memory", {}))
+    return SimStats(**data)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one successful simulation (cache- and pickle-friendly)."""
+
+    spec_hash: str
+    cycles: int
+    stats: SimStats
+    #: Sorted union of DDOS-predicted SIB instruction indices.
+    predicted_sibs: List[int] = field(default_factory=list)
+    #: ``DetectionOutcome`` fields (plain data) when DDOS was enabled.
+    ddos: Optional[Dict[str, Any]] = None
+    elapsed_s: float = 0.0
+    attempts: int = 1
+    from_cache: bool = False
+    label: Optional[str] = None
+
+    ok = True
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec_hash": self.spec_hash,
+            "cycles": self.cycles,
+            "stats": stats_to_dict(self.stats),
+            "predicted_sibs": list(self.predicted_sibs),
+            "ddos": self.ddos,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
+        return cls(
+            spec_hash=data["spec_hash"],
+            cycles=data["cycles"],
+            stats=stats_from_dict(data["stats"]),
+            predicted_sibs=list(data.get("predicted_sibs", [])),
+            ddos=data.get("ddos"),
+            elapsed_s=data.get("elapsed_s", 0.0),
+        )
+
+
+@dataclass
+class RunFailure:
+    """Structured record of a run that produced no result."""
+
+    spec: Optional[RunSpec]
+    spec_hash: str
+    error_type: str
+    message: str
+    attempts: int
+    elapsed_s: float = 0.0
+    transient: bool = False
+
+    ok = False
+
+    def describe(self) -> str:
+        what = self.spec.display if self.spec is not None else self.spec_hash
+        return (f"{what}: {self.error_type}: {self.message} "
+                f"(after {self.attempts} attempt(s))")

@@ -1,0 +1,376 @@
+"""Fan-out execution of RunSpecs: parallel, cached, fault-tolerant.
+
+The :class:`Runner` takes a batch of independent :class:`RunSpec`\\ s and
+drives each one to a :class:`RunResult` or a structured
+:class:`RunFailure` — a crashed or hung simulation never tears down the
+rest of the sweep.  Three execution modes share one retry/timeout
+policy:
+
+* ``process`` (default when ``workers > 1``) — a
+  ``ProcessPoolExecutor``; each worker builds its workload, simulates,
+  validates, and ships back only the light-weight result record.
+* ``thread`` — a ``ThreadPoolExecutor``; no isolation, but the injected
+  ``run_fn`` shares memory with the caller (used by tests).
+* ``serial`` — in-process loop (default when ``workers == 1``).
+
+Per-run wall-clock timeouts are enforced *inside* the executing process
+via ``SIGALRM`` (each pool worker's main thread), so a hung run
+surfaces as an ordinary exception and the pool stays healthy.  Failures
+classified transient (OS errors, timeouts, a broken pool, or the
+explicit :class:`TransientRunError`) are retried up to ``retries``
+times; deterministic simulation errors (deadlock, validation failure,
+bad parameters) fail fast.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Executor, wait
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.lab.cache import ResultCache
+from repro.lab.results import LabError, RunFailure, RunResult
+from repro.lab.spec import RunSpec
+
+
+class RunTimeout(RuntimeError):
+    """The run exceeded the runner's per-run wall-clock budget."""
+
+
+class TransientRunError(RuntimeError):
+    """An explicitly-transient failure: always worth retrying."""
+
+
+#: Exception types retried (bounded) instead of failing the run.
+TRANSIENT_EXCEPTIONS = (OSError, RunTimeout, TransientRunError,
+                        BrokenProcessPool)
+
+
+def _is_transient(exc: BaseException) -> bool:
+    return isinstance(exc, TRANSIENT_EXCEPTIONS)
+
+
+def execute_run(spec: RunSpec) -> RunResult:
+    """Build, simulate, validate, and score one spec (worker entry)."""
+    # Imported here so pool workers pay the import once and the lab core
+    # stays import-cycle-free with the harness layer.
+    import dataclasses
+
+    from repro.harness.runner import run_workload
+    from repro.kernels import build as build_workload
+
+    start = time.perf_counter()
+    workload = build_workload(spec.kernel, **spec.build_params())
+    sim = run_workload(workload, spec.config, validate=spec.validate)
+
+    ddos_outcome = None
+    if spec.config.ddos is not None:
+        from repro.harness.ddos_eval import score_result
+        ddos_outcome = dataclasses.asdict(score_result(spec.kernel, sim))
+
+    return RunResult(
+        spec_hash=spec.content_hash(),
+        cycles=sim.cycles,
+        stats=sim.stats,
+        predicted_sibs=sorted(sim.predicted_sibs()),
+        ddos=ddos_outcome,
+        elapsed_s=time.perf_counter() - start,
+        label=spec.label,
+    )
+
+
+def _run_with_timeout(run_fn: Callable[[RunSpec], RunResult],
+                      spec: RunSpec,
+                      timeout_s: Optional[float]) -> RunResult:
+    """Run ``run_fn(spec)``, enforcing ``timeout_s`` via SIGALRM.
+
+    The alarm is only available on the main thread of a process (true
+    for serial mode and for every process-pool worker); thread-mode
+    runs fall back to no hard timeout.
+    """
+    use_alarm = (
+        timeout_s is not None
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not use_alarm:
+        return run_fn(spec)
+
+    def _on_alarm(_signum, _frame):
+        raise RunTimeout(
+            f"run {spec.display} exceeded {timeout_s:.3f}s wall clock"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        return run_fn(spec)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _pool_entry(spec: RunSpec, timeout_s: Optional[float],
+                run_fn: Optional[Callable]) -> RunResult:
+    """Module-level (hence picklable) pool-worker entry point."""
+    return _run_with_timeout(run_fn or execute_run, spec, timeout_s)
+
+
+@dataclass
+class BatchReport:
+    """Manifest of one :meth:`Runner.run_many` batch."""
+
+    results: List[Union[RunResult, RunFailure]]
+    elapsed_s: float = 0.0
+    retried: int = 0
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.results if r.ok and r.from_cache)
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for r in self.results if r.ok and not r.from_cache)
+
+    @property
+    def failures(self) -> List[RunFailure]:
+        return [r for r in self.results if not r.ok]
+
+    def raise_on_failure(self) -> None:
+        failures = self.failures
+        if failures:
+            details = "\n  ".join(f.describe() for f in failures)
+            raise LabError(
+                f"{len(failures)}/{self.total} runs failed:\n  {details}"
+            )
+
+    def manifest(self) -> Dict[str, Any]:
+        """JSON-ready summary (one row per run, headline counters)."""
+        rows = []
+        for r in self.results:
+            if r.ok:
+                rows.append({
+                    "label": r.label,
+                    "spec_hash": r.spec_hash,
+                    "status": "cached" if r.from_cache else "ok",
+                    "cycles": r.cycles,
+                    "attempts": r.attempts,
+                    "elapsed_s": round(r.elapsed_s, 3),
+                })
+            else:
+                rows.append({
+                    "label": r.spec.label if r.spec else None,
+                    "spec_hash": r.spec_hash,
+                    "status": "failed",
+                    "error": f"{r.error_type}: {r.message}",
+                    "attempts": r.attempts,
+                    "elapsed_s": round(r.elapsed_s, 3),
+                })
+        return {
+            "total": self.total,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "failed": len(self.failures),
+            "retried": self.retried,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "runs": rows,
+        }
+
+
+class Runner:
+    """Executes batches of RunSpecs with caching, retries, and timeouts."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        mode: Optional[str] = None,
+        cache: Optional[Union[ResultCache, str]] = None,
+        timeout_s: Optional[float] = None,
+        retries: int = 1,
+        run_fn: Optional[Callable[[RunSpec], RunResult]] = None,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if mode is None:
+            mode = "serial" if workers == 1 else "process"
+        if mode not in ("serial", "thread", "process"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.workers = workers
+        self.mode = mode
+        self.cache = (ResultCache(cache) if isinstance(cache, (str, bytes))
+                      or hasattr(cache, "__fspath__") else cache)
+        self.timeout_s = timeout_s
+        self.retries = retries
+        #: The function actually executed per spec; injectable for tests
+        #: (must be picklable — i.e. module-level — in process mode).
+        self.run_fn = run_fn
+        self.progress = progress
+        self.last_report: Optional[BatchReport] = None
+
+    # ------------------------------------------------------------------
+
+    def run_many(self, specs: Sequence[RunSpec]) -> BatchReport:
+        """Drive every spec to a result or failure record, in order."""
+        specs = list(specs)
+        start = time.perf_counter()
+        results: List[Optional[Union[RunResult, RunFailure]]] = (
+            [None] * len(specs)
+        )
+        report = BatchReport(results=results)  # filled in below
+
+        pending: List[int] = []
+        for i, spec in enumerate(specs):
+            cached = self.cache.get(spec) if self.cache is not None else None
+            if cached is not None:
+                results[i] = cached
+                self._note(f"[{i + 1}/{len(specs)}] {spec.display}: cached")
+            else:
+                pending.append(i)
+
+        if pending:
+            if self.mode == "serial":
+                self._drive_serial(specs, pending, results, report)
+            else:
+                self._drive_pooled(specs, pending, results, report)
+
+        for i, outcome in enumerate(results):
+            if outcome is not None and outcome.ok and not outcome.from_cache:
+                if self.cache is not None:
+                    self.cache.put(specs[i], outcome)
+
+        report.elapsed_s = time.perf_counter() - start
+        self.last_report = report
+        return report
+
+    def run_map(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Like :meth:`run_many`, but all-or-error: raises on any failure."""
+        report = self.run_many(specs)
+        report.raise_on_failure()
+        return list(report.results)
+
+    def run_one(self, spec: RunSpec) -> RunResult:
+        return self.run_map([spec])[0]
+
+    # ------------------------------------------------------------------
+
+    def _note(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+    def _max_attempts(self) -> int:
+        return self.retries + 1
+
+    def _record_outcome(self, results, report, specs, index, attempts,
+                        outcome: Union[RunResult, BaseException],
+                        elapsed: float) -> bool:
+        """Store a result/failure; returns True if the run should retry."""
+        spec = specs[index]
+        if isinstance(outcome, RunResult):
+            outcome.attempts = attempts
+            outcome.label = spec.label
+            results[index] = outcome
+            self._note(f"{spec.display}: ok "
+                       f"({outcome.cycles} cycles, {elapsed:.1f}s)")
+            return False
+        transient = _is_transient(outcome)
+        if transient and attempts < self._max_attempts():
+            report.retried += 1
+            self._note(f"{spec.display}: transient "
+                       f"{type(outcome).__name__}, retrying")
+            return True
+        results[index] = RunFailure(
+            spec=spec,
+            spec_hash=spec.content_hash(),
+            error_type=type(outcome).__name__,
+            message=str(outcome),
+            attempts=attempts,
+            elapsed_s=elapsed,
+            transient=transient,
+        )
+        self._note(f"{spec.display}: FAILED ({type(outcome).__name__})")
+        return False
+
+    def _drive_serial(self, specs, pending, results, report) -> None:
+        for i in pending:
+            attempts = 0
+            while True:
+                attempts += 1
+                t0 = time.perf_counter()
+                try:
+                    outcome: Union[RunResult, BaseException] = _pool_entry(
+                        specs[i], self.timeout_s, self.run_fn
+                    )
+                except Exception as exc:  # noqa: BLE001 - recorded below
+                    outcome = exc
+                if not self._record_outcome(
+                    results, report, specs, i, attempts, outcome,
+                    time.perf_counter() - t0,
+                ):
+                    break
+
+    def _make_executor(self) -> Executor:
+        if self.mode == "thread":
+            return ThreadPoolExecutor(max_workers=self.workers)
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+    def _drive_pooled(self, specs, pending, results, report) -> None:
+        queue = [(i, 0) for i in pending]
+        while queue:
+            executor = self._make_executor()
+            try:
+                futures = {}
+                started = {}
+                for i, prior_attempts in queue:
+                    future = executor.submit(
+                        _pool_entry, specs[i], self.timeout_s, self.run_fn
+                    )
+                    futures[future] = (i, prior_attempts + 1)
+                    started[future] = time.perf_counter()
+                queue = []
+                not_done = set(futures)
+                pool_broken = False
+                while not_done:
+                    done, not_done = wait(
+                        not_done, return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        i, attempts = futures[future]
+                        elapsed = time.perf_counter() - started[future]
+                        try:
+                            outcome: Union[RunResult, BaseException] = (
+                                future.result()
+                            )
+                        except Exception as exc:  # noqa: BLE001
+                            outcome = exc
+                            pool_broken = pool_broken or isinstance(
+                                exc, BrokenProcessPool
+                            )
+                        if self._record_outcome(
+                            results, report, specs, i, attempts, outcome,
+                            elapsed,
+                        ):
+                            queue.append((i, attempts))
+                    if pool_broken:
+                        # Every remaining future is doomed; drain them as
+                        # transient and rebuild the pool.
+                        for future in not_done:
+                            i, attempts = futures[future]
+                            if self._record_outcome(
+                                results, report, specs, i, attempts,
+                                BrokenProcessPool("process pool died"),
+                                time.perf_counter() - started[future],
+                            ):
+                                queue.append((i, attempts))
+                        break
+            finally:
+                executor.shutdown(wait=False, cancel_futures=True)

@@ -1,0 +1,104 @@
+"""RunSpec: one simulation, fully described, with a stable content hash.
+
+A :class:`RunSpec` is the unit of work of the lab: kernel name, workload
+parameters, the full :class:`~repro.sim.config.GPUConfig`, an optional
+seed, and whether to run post-execution validation.  Two specs that
+describe the same simulation hash identically, so the result cache can
+recognize repeated work across processes and CLI invocations.
+
+Hashing is content-addressed: the spec is serialized to canonical JSON
+(sorted keys, nested config dataclasses expanded) and digested with
+SHA-256.  Anything that can change the simulation's outcome must be in
+the hash; presentation-only fields (``label``) are excluded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.sim.config import BOWSConfig, CacheConfig, DDOSConfig, GPUConfig
+
+
+def config_to_dict(config: GPUConfig) -> Dict[str, Any]:
+    """Serialize a :class:`GPUConfig` (and nested configs) to plain data."""
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(data: Dict[str, Any]) -> GPUConfig:
+    """Rebuild a :class:`GPUConfig` from :func:`config_to_dict` output."""
+    data = dict(data)
+    data["l1d"] = CacheConfig(**data["l1d"])
+    data["l2"] = CacheConfig(**data["l2"])
+    data["bows"] = BOWSConfig(**data["bows"]) if data.get("bows") else None
+    data["ddos"] = DDOSConfig(**data["ddos"]) if data.get("ddos") else None
+    return GPUConfig(**data)
+
+
+def _canonical_json(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=_json_default)
+
+
+def _json_default(value: Any):
+    # numpy scalars leak into stats/params occasionally; store them as
+    # plain numbers rather than failing the dump.
+    if hasattr(value, "item"):
+        return value.item()
+    raise TypeError(f"not JSON-serializable: {value!r}")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent simulation: kernel + params + config (+ seed)."""
+
+    kernel: str
+    config: GPUConfig
+    params: Dict[str, int] = field(default_factory=dict)
+    #: Folded into the workload build as a ``seed=`` parameter when set.
+    seed: Optional[int] = None
+    #: Run the workload's functional validation after simulation.
+    validate: bool = True
+    #: Display name for progress/manifests; NOT part of the hash.
+    label: Optional[str] = None
+
+    def build_params(self) -> Dict[str, int]:
+        """Workload-builder keyword arguments (seed folded in)."""
+        params = dict(self.params)
+        if self.seed is not None:
+            params["seed"] = self.seed
+        return params
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kernel": self.kernel,
+            "config": config_to_dict(self.config),
+            "params": dict(self.params),
+            "seed": self.seed,
+            "validate": self.validate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any],
+                  label: Optional[str] = None) -> "RunSpec":
+        return cls(
+            kernel=data["kernel"],
+            config=config_from_dict(data["config"]),
+            params=dict(data.get("params", {})),
+            seed=data.get("seed"),
+            validate=data.get("validate", True),
+            label=label,
+        )
+
+    def content_hash(self) -> str:
+        """Stable SHA-256 over everything that affects the simulation."""
+        return hashlib.sha256(
+            _canonical_json(self.to_dict()).encode("utf-8")
+        ).hexdigest()
+
+    @property
+    def display(self) -> str:
+        return self.label or f"{self.kernel}:{self.content_hash()[:10]}"

@@ -1,0 +1,161 @@
+"""Sweep builder: cartesian parameter products over RunSpecs.
+
+A :class:`Sweep` names a set of axes (``kernel``, ``scheduler``,
+``bows`` delay limit, …) and expands their cartesian product into
+ordered combos.  A *spec factory* maps each combo to a
+:class:`RunSpec`; :func:`experiment_spec` is the stock factory speaking
+the paper's vocabulary (scheduler/bows/preset + the canonical workload
+parameter registries).  ``Sweep.run`` fans the specs out through a
+:class:`~repro.lab.runner.Runner` and returns a :class:`SweepResult`
+pairing each combo with its outcome, plus a JSON-ready manifest.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Tuple,
+                    Union)
+
+from repro.lab.results import RunFailure, RunResult
+from repro.lab.runner import BatchReport, Runner
+from repro.lab.spec import RunSpec
+
+SpecFactory = Callable[[Dict[str, Any]], RunSpec]
+
+
+def _combo_label(combo: Dict[str, Any]) -> str:
+    return " ".join(f"{k}={v}" for k, v in combo.items())
+
+
+def experiment_spec(combo: Dict[str, Any]) -> RunSpec:
+    """Stock factory: combo axes in the harness vocabulary.
+
+    Recognized axes: ``kernel`` (required), ``scheduler``, ``bows``,
+    ``ddos``, ``preset``, ``scale``, ``seed``, ``validate``; any other
+    axis is passed through as a workload parameter override.
+    """
+    from repro.harness.params import sync_free_params, sync_params
+    from repro.harness.runner import make_config
+
+    combo = dict(combo)
+    kernel = combo.pop("kernel")
+    scale = combo.pop("scale", "full")
+    config = make_config(
+        combo.pop("scheduler", "gto"),
+        bows=combo.pop("bows", None),
+        ddos=combo.pop("ddos", None),
+        preset=combo.pop("preset", "fermi"),
+    )
+    seed = combo.pop("seed", None)
+    validate = combo.pop("validate", True)
+    registry: Dict[str, dict] = {}
+    registry.update(sync_free_params(scale))
+    registry.update(sync_params(scale))
+    params = dict(registry.get(kernel, {}))
+    params.update(combo)  # leftover axes are workload parameters
+    return RunSpec(kernel=kernel, config=config, params=params,
+                   seed=seed, validate=validate)
+
+
+class Sweep:
+    """Ordered cartesian product of named axes."""
+
+    def __init__(self, name: str, **axes: Iterable) -> None:
+        self.name = name
+        self.axes: Dict[str, List] = {}
+        for axis, values in axes.items():
+            self.axis(axis, values)
+
+    def axis(self, name: str, values: Iterable) -> "Sweep":
+        values = list(values)
+        if not values:
+            raise ValueError(f"axis {name!r} has no values")
+        self.axes[name] = values
+        return self
+
+    def combos(self) -> List[Dict[str, Any]]:
+        names = list(self.axes)
+        return [
+            dict(zip(names, values))
+            for values in itertools.product(*self.axes.values())
+        ]
+
+    def __len__(self) -> int:
+        total = 1
+        for values in self.axes.values():
+            total *= len(values)
+        return total
+
+    def specs(self, factory: SpecFactory = experiment_spec) -> List[RunSpec]:
+        specs = []
+        for combo in self.combos():
+            spec = factory(combo)
+            if spec.label is None:
+                spec = RunSpec(
+                    kernel=spec.kernel, config=spec.config,
+                    params=spec.params, seed=spec.seed,
+                    validate=spec.validate, label=_combo_label(combo),
+                )
+            specs.append(spec)
+        return specs
+
+    def run(self, runner: Optional[Runner] = None,
+            factory: SpecFactory = experiment_spec) -> "SweepResult":
+        from repro.lab import current_runner
+
+        runner = runner or current_runner()
+        combos = self.combos()
+        report = runner.run_many(self.specs(factory))
+        return SweepResult(sweep=self, combos=combos, report=report)
+
+
+@dataclass
+class SweepResult:
+    """Combos paired with their outcomes, plus a manifest."""
+
+    sweep: Sweep
+    combos: List[Dict[str, Any]]
+    report: BatchReport
+
+    def items(self) -> List[Tuple[Dict[str, Any],
+                                  Union[RunResult, RunFailure]]]:
+        return list(zip(self.combos, self.report.results))
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Flat table rows (combo axes + headline outcome columns)."""
+        rows = []
+        for combo, outcome in self.items():
+            row = dict(combo)
+            if outcome.ok:
+                row.update({
+                    "status": "cached" if outcome.from_cache else "ok",
+                    "cycles": outcome.cycles,
+                    "ipc": round(outcome.stats.ipc, 3),
+                    "simd_eff": round(outcome.stats.simd_efficiency, 3),
+                    "energy_pj": round(outcome.stats.dynamic_energy_pj, 1),
+                })
+            else:
+                row.update({
+                    "status": "failed",
+                    "cycles": "-",
+                    "ipc": "-",
+                    "simd_eff": "-",
+                    "energy_pj": f"{outcome.error_type}",
+                })
+            rows.append(row)
+        return rows
+
+    def manifest(self) -> Dict[str, Any]:
+        manifest = {
+            "sweep": self.sweep.name,
+            "axes": {k: [repr(v) for v in vs]
+                     for k, vs in self.sweep.axes.items()},
+        }
+        manifest.update(self.report.manifest())
+        return manifest
+
+    def write_manifest(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.manifest(), handle, indent=2, default=str)

@@ -17,6 +17,7 @@ Example::
 
 from __future__ import annotations
 
+import json
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, List, Optional
@@ -82,6 +83,64 @@ class Tracer:
 
     def records(self) -> List[TraceRecord]:
         return list(self._records)
+
+    def export_chrome_trace(self, path) -> int:
+        """Dump the ring buffer as Chrome ``trace_event`` JSON.
+
+        Load the file in ``chrome://tracing`` or Perfetto to see the
+        issue timeline — one process track per SM, one thread track per
+        warp slot, one cycle mapped to one microsecond.  Issues from a
+        backed-off warp are named ``<opcode> [backed-off]`` so spin and
+        back-off phases stand out; per-event args carry the PC, CTA,
+        and active-lane count.  Returns the number of issue events
+        written.
+        """
+        events: List[dict] = []
+        tracks = {}
+        for record in self._records:
+            track = (record.sm_id, record.warp_slot)
+            tracks.setdefault(track, record.cta_id)
+            name = record.opcode
+            if record.backed_off:
+                name += " [backed-off]"
+            events.append({
+                "name": name,
+                "ph": "X",
+                "ts": record.cycle,
+                "dur": 1,
+                "pid": record.sm_id,
+                "tid": record.warp_slot,
+                "cat": "backed-off" if record.backed_off else "issue",
+                "args": {
+                    "pc": record.pc,
+                    "cta": record.cta_id,
+                    "active_lanes": record.active_lanes,
+                    "backed_off": record.backed_off,
+                },
+            })
+        metadata: List[dict] = []
+        for sm_id in sorted({sm for sm, _ in tracks}):
+            metadata.append({
+                "name": "process_name", "ph": "M", "pid": sm_id,
+                "args": {"name": f"SM{sm_id}"},
+            })
+        for (sm_id, slot), cta in sorted(tracks.items()):
+            metadata.append({
+                "name": "thread_name", "ph": "M", "pid": sm_id,
+                "tid": slot, "args": {"name": f"warp {slot:02d}"},
+            })
+        payload = {
+            "traceEvents": metadata + events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "source": "repro.sim.trace.Tracer",
+                "time_unit": "1 ts = 1 GPU cycle",
+                "dropped_records": self.dropped,
+            },
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        return len(events)
 
     def clear(self) -> None:
         self._records.clear()

@@ -63,3 +63,45 @@ def test_parse_params():
     assert _parse_params(["a=1", "b=2"]) == {"a": 1, "b": 2}
     with pytest.raises(SystemExit):
         _parse_params(["oops"])
+
+
+def test_sweep_command_runs_caches_and_writes_manifest(tmp_path, capsys):
+    import json
+
+    cache_dir = str(tmp_path / "cache")
+    manifest = str(tmp_path / "sweep.json")
+    argv = [
+        "sweep", "--kernel", "vecadd", "--bows", "none,500",
+        "--scale", "quick", "--workers", "1",
+        "--cache-dir", cache_dir, "--manifest", manifest,
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "2 runs: 0 cached, 2 simulated" in out
+    payload = json.loads(open(manifest).read())
+    assert payload["total"] == 2 and payload["executed"] == 2
+
+    # Re-run: pure cache hits.
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "2 runs: 2 cached, 0 simulated" in out
+
+
+def test_cache_stats_and_clear_commands(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["sweep", "--kernel", "vecadd", "--scale", "quick",
+                 "--workers", "1", "--cache-dir", cache_dir]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "entries         : 1" in out
+    assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "removed 1" in out
+
+
+def test_experiment_no_cache_flag(tmp_path, capsys):
+    assert main(["experiment", "fig3", "--scale", "quick", "--workers", "1",
+                 "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "0 cached" in out

@@ -1,0 +1,352 @@
+"""repro.lab unit tests: specs, cache, runner policies, sweeps.
+
+Real-simulation coverage is kept to a handful of tiny kernels; the
+failure-policy paths (timeouts, retries, permanent errors) run against
+injected ``run_fn`` stubs so they are fast and deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.harness.runner import make_config
+from repro.kernels import WorkloadReuseError, build
+from repro.lab import (
+    LabError,
+    ResultCache,
+    Runner,
+    RunSpec,
+    Sweep,
+    TransientRunError,
+    config_from_dict,
+    config_to_dict,
+    current_runner,
+    use_runner,
+)
+from repro.lab.results import RunResult
+from repro.lab.spec import _canonical_json
+from repro.metrics.stats import SimStats
+from repro.sim.config import DDOSConfig
+
+VECADD = dict(n_threads=64, per_thread=2, block_dim=32)
+
+
+def vecadd_spec(**config_kwargs) -> RunSpec:
+    return RunSpec("vecadd", make_config("gto", **config_kwargs),
+                   dict(VECADD))
+
+
+# ----------------------------------------------------------------------
+# RunSpec hashing and config serialization
+
+
+def test_content_hash_is_stable_and_order_independent():
+    a = RunSpec("ht", make_config("gto"), {"n_threads": 64, "n_buckets": 8})
+    b = RunSpec("ht", make_config("gto"), {"n_buckets": 8, "n_threads": 64})
+    assert a.content_hash() == b.content_hash()
+    assert len(a.content_hash()) == 64
+
+
+def test_content_hash_covers_simulation_inputs():
+    base = vecadd_spec()
+    assert base.content_hash() != vecadd_spec(bows=1000).content_hash()
+    assert base.content_hash() != RunSpec(
+        "vecadd", make_config("gto"), dict(VECADD, per_thread=3)
+    ).content_hash()
+    assert base.content_hash() != RunSpec(
+        "vecadd", make_config("gto"), dict(VECADD), seed=7
+    ).content_hash()
+    assert base.content_hash() != RunSpec(
+        "vecadd", make_config("gto"), dict(VECADD), validate=False
+    ).content_hash()
+    # Labels are presentation-only.
+    labelled = RunSpec("vecadd", make_config("gto"), dict(VECADD),
+                       label="pretty")
+    assert base.content_hash() == labelled.content_hash()
+
+
+def test_config_round_trip():
+    config = make_config("cawa", bows=1500,
+                         ddos=DDOSConfig(hashing="modulo"),
+                         preset="pascal", num_sms=3)
+    rebuilt = config_from_dict(config_to_dict(config))
+    assert rebuilt == config
+    assert (_canonical_json(config_to_dict(rebuilt))
+            == _canonical_json(config_to_dict(config)))
+
+
+def test_spec_round_trip():
+    spec = RunSpec("ht", make_config("gto", bows=True),
+                   {"n_threads": 128}, seed=3, validate=False)
+    rebuilt = RunSpec.from_dict(spec.to_dict())
+    assert rebuilt.content_hash() == spec.content_hash()
+    assert rebuilt.build_params() == {"n_threads": 128, "seed": 3}
+
+
+# ----------------------------------------------------------------------
+# Cache
+
+
+def test_cache_miss_hit_and_code_invalidation(tmp_path):
+    cache = ResultCache(tmp_path / "cache", fingerprint="f" * 64)
+    spec = vecadd_spec()
+    assert cache.get(spec) is None
+    result = RunResult(spec_hash=spec.content_hash(), cycles=123,
+                       stats=SimStats(cycles=123, warp_instructions=7))
+    cache.put(spec, result)
+
+    hit = cache.get(spec)
+    assert hit is not None and hit.from_cache
+    assert hit.cycles == 123
+    assert hit.stats.warp_instructions == 7
+
+    # A different config is a different address -> miss.
+    assert cache.get(vecadd_spec(bows=1000)) is None
+    # A different code fingerprint invalidates everything.
+    stale = ResultCache(tmp_path / "cache", fingerprint="0" * 64)
+    assert stale.get(spec) is None
+
+
+def test_cache_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path / "cache", fingerprint="f" * 64)
+    spec = vecadd_spec()
+    path = cache.put(spec, RunResult(spec_hash=spec.content_hash(),
+                                     cycles=1, stats=SimStats()))
+    path.write_text("{not json", encoding="utf-8")
+    assert cache.get(spec) is None
+
+
+def test_cache_stats_and_clear(tmp_path):
+    cache = ResultCache(tmp_path / "cache", fingerprint="f" * 64)
+    stale = ResultCache(tmp_path / "cache", fingerprint="0" * 64)
+    for c, spec in ((cache, vecadd_spec()), (stale, vecadd_spec(bows=500))):
+        c.put(spec, RunResult(spec_hash=spec.content_hash(), cycles=1,
+                              stats=SimStats()))
+    stats = cache.stats()
+    assert stats.entries == 2
+    assert stats.current_entries == 1 and stats.stale_entries == 1
+    assert cache.clear(stale_only=True) == 1
+    assert cache.stats().entries == 1
+    assert cache.clear() == 1
+    assert cache.stats().entries == 0
+
+
+# ----------------------------------------------------------------------
+# Runner: real simulations (serial + thread parity, ddos payload)
+
+
+def test_runner_serial_real_run_populates_result(tmp_path):
+    runner = Runner(workers=1, cache=ResultCache(tmp_path / "c"))
+    result = runner.run_one(vecadd_spec())
+    assert result.ok and not result.from_cache
+    assert result.cycles > 0
+    assert result.stats.thread_instructions > 0
+    again = runner.run_one(vecadd_spec())
+    assert again.from_cache
+    assert again.cycles == result.cycles
+    assert again.stats.summary() == result.stats.summary()
+    report = runner.last_report
+    assert report.cache_hits == 1 and report.executed == 0
+
+
+def test_runner_thread_mode_matches_serial():
+    serial = Runner(workers=1).run_one(vecadd_spec())
+    threaded = Runner(workers=2, mode="thread").run_one(vecadd_spec())
+    assert threaded.stats.summary() == serial.stats.summary()
+
+
+def test_runner_attaches_ddos_outcome():
+    spec = RunSpec("vecadd", make_config("gto", ddos=True), dict(VECADD))
+    result = Runner().run_one(spec)
+    assert result.ddos is not None
+    assert result.ddos["kernel"] == "vecadd"
+    assert "detected_false" in result.ddos
+
+
+# ----------------------------------------------------------------------
+# Runner: failure policy (stubbed run_fn)
+
+
+def _fake_result(spec: RunSpec) -> RunResult:
+    return RunResult(spec_hash=spec.content_hash(), cycles=42,
+                     stats=SimStats(cycles=42))
+
+
+def test_timeout_produces_structured_failure_and_retries():
+    def sleepy(spec):
+        time.sleep(0.5)
+        return _fake_result(spec)
+
+    runner = Runner(workers=1, timeout_s=0.05, retries=1, run_fn=sleepy)
+    report = runner.run_many([vecadd_spec()])
+    (failure,) = report.results
+    assert not failure.ok
+    assert failure.error_type == "RunTimeout"
+    assert failure.transient
+    assert failure.attempts == 2  # original + one retry
+    assert report.retried == 1
+
+
+def test_transient_failure_is_retried_to_success():
+    calls = {"n": 0}
+
+    def flaky(spec):
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise TransientRunError("blip")
+        return _fake_result(spec)
+
+    runner = Runner(workers=1, retries=2, run_fn=flaky)
+    report = runner.run_many([vecadd_spec()])
+    (result,) = report.results
+    assert result.ok
+    assert result.attempts == 3
+    assert report.retried == 2 and report.executed == 1
+
+
+def test_permanent_failure_fails_fast_without_retry():
+    calls = {"n": 0}
+
+    def broken(spec):
+        calls["n"] += 1
+        raise ValueError("bad parameters")
+
+    runner = Runner(workers=1, retries=3, run_fn=broken)
+    report = runner.run_many([vecadd_spec()])
+    (failure,) = report.results
+    assert not failure.ok and failure.attempts == 1
+    assert calls["n"] == 1
+    assert failure.error_type == "ValueError"
+    assert not failure.transient
+
+
+def test_one_bad_run_does_not_sink_the_batch():
+    def selective(spec):
+        if spec.kernel == "ht":
+            raise ValueError("boom")
+        return _fake_result(spec)
+
+    specs = [vecadd_spec(),
+             RunSpec("ht", make_config("gto"), {"n_threads": 64}),
+             vecadd_spec(bows=1000)]
+    report = Runner(workers=1, run_fn=selective).run_many(specs)
+    assert [r.ok for r in report.results] == [True, False, True]
+    with pytest.raises(LabError, match="1/3 runs failed"):
+        report.raise_on_failure()
+
+
+def test_run_map_raises_on_failure():
+    def broken(spec):
+        raise ValueError("nope")
+
+    with pytest.raises(LabError):
+        Runner(workers=1, run_fn=broken).run_map([vecadd_spec()])
+
+
+def test_batch_manifest_contents():
+    def selective(spec):
+        if spec.kernel == "ht":
+            raise ValueError("boom")
+        return _fake_result(spec)
+
+    runner = Runner(workers=1, run_fn=selective,
+                    cache=None)
+    specs = [vecadd_spec(), RunSpec("ht", make_config("gto"), {},
+                                    label="doomed")]
+    manifest = runner.run_many(specs).manifest()
+    assert manifest["total"] == 2
+    assert manifest["executed"] == 1 and manifest["failed"] == 1
+    statuses = [row["status"] for row in manifest["runs"]]
+    assert statuses == ["ok", "failed"]
+    assert manifest["runs"][1]["label"] == "doomed"
+    assert "ValueError" in manifest["runs"][1]["error"]
+    json.dumps(manifest)  # must be JSON-serializable
+
+
+def test_failed_runs_are_not_cached(tmp_path):
+    cache = ResultCache(tmp_path / "c", fingerprint="f" * 64)
+
+    def broken(spec):
+        raise ValueError("nope")
+
+    Runner(workers=1, run_fn=broken, cache=cache).run_many([vecadd_spec()])
+    assert cache.stats().entries == 0
+
+
+# ----------------------------------------------------------------------
+# Sweep
+
+
+def test_sweep_cartesian_product_order():
+    sweep = Sweep("s", kernel=["ht", "atm"], bows=[None, 1000])
+    assert len(sweep) == 4
+    assert sweep.combos() == [
+        {"kernel": "ht", "bows": None},
+        {"kernel": "ht", "bows": 1000},
+        {"kernel": "atm", "bows": None},
+        {"kernel": "atm", "bows": 1000},
+    ]
+    with pytest.raises(ValueError, match="no values"):
+        sweep.axis("empty", [])
+
+
+def test_sweep_run_and_manifest(tmp_path):
+    sweep = Sweep("tiny", kernel=["vecadd"], bows=[None, 500],
+                  scale=["quick"])
+    result = sweep.run(runner=Runner(workers=1, run_fn=_fake_result))
+    rows = result.rows()
+    assert len(rows) == 2
+    assert all(row["status"] == "ok" for row in rows)
+    assert {row["bows"] for row in rows} == {None, 500}
+
+    manifest_path = tmp_path / "manifest.json"
+    result.write_manifest(manifest_path)
+    manifest = json.loads(manifest_path.read_text())
+    assert manifest["sweep"] == "tiny"
+    assert manifest["axes"]["bows"] == ["None", "500"]
+    assert manifest["total"] == 2
+    assert len(manifest["runs"]) == 2
+    assert all("spec_hash" in row for row in manifest["runs"])
+
+
+def test_sweep_specs_get_combo_labels():
+    sweep = Sweep("s", kernel=["vecadd"], bows=[500], scale=["quick"])
+    (spec,) = sweep.specs()
+    assert spec.label == "kernel=vecadd bows=500 scale=quick"
+    assert spec.config.bows is not None
+    assert spec.params["n_threads"] > 0  # quick registry params applied
+
+
+def test_sweep_extra_axis_becomes_workload_param():
+    sweep = Sweep("s", kernel=["vecadd"], scale=["quick"],
+                  per_thread=[4])
+    (spec,) = sweep.specs()
+    assert spec.params["per_thread"] == 4
+
+
+# ----------------------------------------------------------------------
+# current_runner context
+
+
+def test_use_runner_scopes_the_current_runner():
+    default = current_runner()
+    custom = Runner(workers=1, run_fn=_fake_result)
+    with use_runner(custom):
+        assert current_runner() is custom
+    assert current_runner() is default
+
+
+# ----------------------------------------------------------------------
+# Workload single-use guard (satellite)
+
+
+def test_workload_reuse_raises():
+    from repro.harness.runner import run_workload
+
+    workload = build("vecadd", **VECADD)
+    run_workload(workload, make_config("gto"))
+    with pytest.raises(WorkloadReuseError, match="fresh"):
+        run_workload(workload, make_config("gto"))

@@ -81,6 +81,54 @@ def test_record_str_format():
     assert text.endswith(" B")
 
 
+def test_export_chrome_trace(tiny_config, tmp_path):
+    import json
+
+    tracer = Tracer()
+    run_traced(tracer, tiny_config)
+    path = tmp_path / "trace.json"
+    written = tracer.export_chrome_trace(path)
+    assert written == 14
+
+    payload = json.loads(path.read_text())
+    events = payload["traceEvents"]
+    issues = [e for e in events if e["ph"] == "X"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    assert len(issues) == 14
+    # One process track per SM, one thread track per warp slot.
+    assert {e["args"]["name"] for e in metadata
+            if e["name"] == "process_name"} == {"SM0"}
+    assert any(e["name"] == "thread_name" for e in metadata)
+    first = issues[0]
+    assert first["name"] == "mov"
+    assert first["pid"] == 0 and first["dur"] == 1
+    assert first["args"]["active_lanes"] == 32
+    assert payload["otherData"]["dropped_records"] == 0
+    # Timestamps are the issue cycles, so the timeline is monotonic.
+    assert [e["ts"] for e in issues] == sorted(e["ts"] for e in issues)
+
+
+def test_export_chrome_trace_marks_backed_off_issues(tmp_path):
+    import json
+
+    from repro.harness.runner import make_config
+    from repro.kernels import build
+
+    tracer = Tracer()
+    workload = build("ht", n_threads=64, n_buckets=8, items_per_thread=1,
+                     block_dim=64)
+    gpu = GPU(make_config("gto", bows=1000, num_sms=1, max_warps_per_sm=8),
+              memory=workload.memory, tracer=tracer)
+    gpu.launch(workload.launch)
+    path = tmp_path / "trace.json"
+    tracer.export_chrome_trace(path)
+    events = json.loads(path.read_text())["traceEvents"]
+    backed_off = [e for e in events if e.get("cat") == "backed-off"]
+    assert backed_off, "BOWS run should issue from backed-off warps"
+    assert all(e["name"].endswith("[backed-off]") for e in backed_off)
+    assert all(e["args"]["backed_off"] for e in backed_off)
+
+
 def test_attach_helper(tiny_config):
     tracer = Tracer()
     program = assemble(SOURCE)
