@@ -36,6 +36,7 @@ from repro.sim.config import (
     BOWSConfig,
     DDOSConfig,
     GPUConfig,
+    PerturbConfig,
     fermi_config,
     pascal_config,
 )
@@ -43,7 +44,12 @@ from repro.sim.gpu import (
     GPU,
     KernelLaunch,
     SimResult,
+)
+from repro.sim.progress import (
+    HangReport,
     SimulationDeadlock,
+    SimulationHang,
+    SimulationLivelock,
     SimulationTimeout,
 )
 
@@ -59,12 +65,16 @@ __all__ = [
     "DDOSEngine",
     "GPUConfig",
     "GlobalMemory",
+    "HangReport",
     "KernelLaunch",
+    "PerturbConfig",
     "Program",
     "SYNC_FREE_KERNELS",
     "SYNC_KERNELS",
     "SimResult",
     "SimulationDeadlock",
+    "SimulationHang",
+    "SimulationLivelock",
     "SimulationTimeout",
     "Workload",
     "WorkloadError",

@@ -8,9 +8,16 @@ Usage::
     python -m repro experiment fig10 --workers 8      # parallel + cached
     python -m repro run ht --scheduler gto --bows adaptive
     python -m repro run ht --param n_buckets=8 --param n_threads=512
+    python -m repro run atm --watchdog 100000 --progress-epoch 5000
+    python -m repro fuzz ht --seeds 16 --budget-cycles 50000
     python -m repro sweep --kernel ht --kernel tsp --bows none,1000,adaptive
     python -m repro cache stats
     python -m repro cache clear [--stale-only]
+
+Exit codes distinguish failure classes so CI and the fuzzer can react
+without parsing output: 0 success, 1 generic failure, 2 usage error,
+3 hang (deadlock/livelock/cycle-cap timeout), 4 validation mismatch,
+5 transient/infrastructure error (worth retrying).
 
 ``experiment`` and ``sweep`` execute through :mod:`repro.lab`: runs fan
 out over a process pool and completed simulations land in the on-disk
@@ -30,7 +37,17 @@ from repro.harness.experiments import ALL_EXPERIMENTS, run_delay_sweep
 from repro.harness.reporting import format_table
 from repro.harness.runner import make_config, run_workload
 from repro.kernels import build as build_workload, kernel_names
+from repro.kernels.base import WorkloadError
 from repro.lab import ResultCache, Runner, Sweep, use_runner
+from repro.lab.runner import RunTimeout, TransientRunError
+from repro.sim.progress import SimulationHang
+
+#: Exit codes for machine consumers (CI, the fuzzer's repro command).
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_HANG = 3
+EXIT_VALIDATION = 4
+EXIT_TRANSIENT = 5
 
 
 def _parse_params(items: List[str]) -> dict:
@@ -173,6 +190,33 @@ def _cmd_cache(args) -> int:
     raise SystemExit(2)
 
 
+def _watchdog_overrides(args) -> dict:
+    """Config overrides from the shared --watchdog family of flags."""
+    overrides = {}
+    if getattr(args, "max_cycles", None) is not None:
+        overrides["max_cycles"] = args.max_cycles
+    if getattr(args, "watchdog", None) is not None:
+        overrides["no_progress_window"] = args.watchdog
+    if getattr(args, "progress_epoch", None) is not None:
+        overrides["progress_epoch"] = args.progress_epoch
+    if getattr(args, "invariants", False):
+        overrides["invariant_checks"] = True
+    return overrides
+
+
+def _add_watchdog_options(parser) -> None:
+    parser.add_argument("--max-cycles", type=int, default=None,
+                        help="hard simulated-cycle budget")
+    parser.add_argument("--watchdog", type=int, default=None,
+                        help="no-progress window in cycles before the run "
+                             "is classified as hung (0 disables)")
+    parser.add_argument("--progress-epoch", type=int, default=None,
+                        help="cycles between progress-monitor samples")
+    parser.add_argument("--invariants", action="store_true",
+                        help="enable per-epoch microarchitectural "
+                             "invariant checks (debug)")
+
+
 def _cmd_run(args) -> int:
     bows: object = None
     if args.bows == "adaptive":
@@ -185,10 +229,26 @@ def _cmd_run(args) -> int:
         ddos=None if not args.no_ddos else False,
         preset=args.preset,
     )
+    overrides = _watchdog_overrides(args)
+    if overrides:
+        config = config.replace(**overrides)
     params = _parse_params(args.param)
     workload = build_workload(args.kernel, **params)
     start = time.time()
-    result = run_workload(workload, config)
+    try:
+        result = run_workload(workload, config)
+    except SimulationHang as exc:
+        print(f"kernel {args.kernel}: HANG ({type(exc).__name__})")
+        print(exc.args[0] if exc.args else str(exc))
+        return EXIT_HANG
+    except WorkloadError as exc:
+        print(f"kernel {args.kernel}: VALIDATION FAILED")
+        print(str(exc))
+        return EXIT_VALIDATION
+    except (OSError, RunTimeout, TransientRunError) as exc:
+        print(f"kernel {args.kernel}: transient error "
+              f"({type(exc).__name__}): {exc}")
+        return EXIT_TRANSIENT
     elapsed = time.time() - start
     stats = result.stats
     print(f"kernel {args.kernel}: {result.cycles} cycles "
@@ -199,7 +259,56 @@ def _cmd_run(args) -> int:
         print(f"  detected SIBs: {sorted(result.predicted_sibs())} "
               f"(truth: {sorted(workload.launch.program.true_sibs())})")
     print("  validation: OK")
-    return 0
+    return EXIT_OK
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz import ScheduleFuzzer
+
+    bows: object = None
+    if args.bows == "adaptive":
+        bows = True
+    elif args.bows is not None:
+        bows = int(args.bows)
+    config = make_config(
+        args.scheduler,
+        bows=bows,
+        preset=args.preset,
+    )
+    overrides = _watchdog_overrides(args)
+    if overrides:
+        config = config.replace(**overrides)
+    params = _parse_params(args.param) or None
+    fuzzer = ScheduleFuzzer(
+        args.kernel,
+        params=params,
+        base_config=config,
+        budget_cycles=args.budget_cycles,
+        watchdog=args.watchdog,
+        progress_epoch=args.progress_epoch,
+        sched_jitter=args.jitter,
+        mem_jitter_cycles=args.mem_jitter,
+        rotation_period=args.rotation,
+        scale=args.scale,
+    )
+    workers = args.workers
+    if workers is None or workers <= 0:
+        workers = 1
+    runner = Runner(workers=workers, cache=None,
+                    progress=print if args.progress else None)
+    seeds = list(range(args.seed_base, args.seed_base + args.seeds))
+    report = fuzzer.run(seeds, runner=runner, shrink=not args.no_shrink)
+    if args.json:
+        report.write(args.json)
+        print(f"[fuzz report written to {args.json}]")
+    print(report.summary())
+    if report.hangs:
+        return EXIT_HANG
+    if report.validation_failures:
+        return EXIT_VALIDATION
+    if any(f.kind == "infra" for f in report.findings):
+        return EXIT_TRANSIENT
+    return EXIT_OK
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -265,6 +374,49 @@ def main(argv: Optional[List[str]] = None) -> int:
     run.add_argument("--param", action="append", default=[],
                      metavar="NAME=VALUE",
                      help="workload parameter override (repeatable)")
+    _add_watchdog_options(run)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="hunt for schedule-dependent hangs with seeded perturbations",
+    )
+    fuzz.add_argument("kernel", choices=kernel_names())
+    fuzz.add_argument("--seeds", type=int, default=16,
+                      help="number of perturbation seeds to try")
+    fuzz.add_argument("--seed-base", type=int, default=0,
+                      help="first seed (seeds are seed-base..seed-base+N-1)")
+    fuzz.add_argument("--budget-cycles", type=int, default=100_000,
+                      help="per-seed simulated-cycle budget")
+    fuzz.add_argument("--jitter", type=float, default=0.1,
+                      help="scheduler tie-break jitter probability [0,1]")
+    fuzz.add_argument("--mem-jitter", type=int, default=16,
+                      help="max extra memory latency in cycles")
+    fuzz.add_argument("--rotation", type=int, default=401,
+                      help="warp-priority rotation period (0 disables)")
+    fuzz.add_argument("--scheduler", choices=("lrr", "gto", "cawa"),
+                      default="gto")
+    fuzz.add_argument("--bows", default=None,
+                      help="'adaptive' or a fixed delay limit in cycles")
+    fuzz.add_argument("--preset", choices=("fermi", "pascal"),
+                      default="fermi")
+    fuzz.add_argument("--scale", choices=("full", "quick"), default="quick")
+    fuzz.add_argument("--param", action="append", default=[],
+                      metavar="NAME=VALUE",
+                      help="workload parameter override (repeatable)")
+    fuzz.add_argument("--workers", type=int, default=None,
+                      help="parallel worker processes (default: 1)")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="skip shrinking the first hang")
+    fuzz.add_argument("--json", default=None, metavar="PATH",
+                      help="write the full fuzz report JSON to PATH")
+    fuzz.add_argument("--progress", action="store_true",
+                      help="print per-run progress lines")
+    fuzz.add_argument("--watchdog", type=int, default=None,
+                      help="no-progress window (default: budget/4)")
+    fuzz.add_argument("--progress-epoch", type=int, default=None,
+                      help="progress-monitor sample period")
+    fuzz.add_argument("--invariants", action="store_true",
+                      help="enable invariant checks during fuzz runs")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -273,6 +425,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_experiment(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "cache":

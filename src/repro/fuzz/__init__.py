@@ -1,0 +1,5 @@
+"""Seeded schedule-perturbation fuzzing (see :mod:`repro.fuzz.harness`)."""
+
+from repro.fuzz.harness import (FuzzFinding, FuzzReport, ScheduleFuzzer)
+
+__all__ = ["FuzzFinding", "FuzzReport", "ScheduleFuzzer"]

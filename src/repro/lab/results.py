@@ -92,10 +92,23 @@ class RunFailure:
     attempts: int
     elapsed_s: float = 0.0
     transient: bool = False
+    #: Inline :class:`~repro.sim.progress.HangReport` JSON when the run
+    #: hung (deadlock/livelock) or timed out; ships through manifests so
+    #: a sweep worker's hang forensics survive the process boundary.
+    hang: Optional[Dict[str, Any]] = None
 
     ok = False
 
+    @property
+    def hung(self) -> bool:
+        return self.hang is not None
+
     def describe(self) -> str:
         what = self.spec.display if self.spec is not None else self.spec_hash
-        return (f"{what}: {self.error_type}: {self.message} "
+        first_line = self.message.splitlines()[0] if self.message else ""
+        text = (f"{what}: {self.error_type}: {first_line} "
                 f"(after {self.attempts} attempt(s))")
+        if self.hang is not None:
+            text += f" [hang: {self.hang.get('kind')} at cycle " \
+                    f"{self.hang.get('cycle')}]"
+        return text

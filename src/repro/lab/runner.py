@@ -36,6 +36,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 from repro.lab.cache import ResultCache
 from repro.lab.results import LabError, RunFailure, RunResult
 from repro.lab.spec import RunSpec
+from repro.sim.progress import SimulationHang
 
 
 class RunTimeout(RuntimeError):
@@ -50,8 +51,16 @@ class TransientRunError(RuntimeError):
 TRANSIENT_EXCEPTIONS = (OSError, RunTimeout, TransientRunError,
                         BrokenProcessPool)
 
+#: Exception types NEVER retried, even if a subclass ever matched the
+#: transient tuple: simulated hangs (deadlock/livelock/cycle-cap
+#: timeout) are deterministic functions of the spec, so a retry would
+#: burn a worker on the exact same hang.
+PERMANENT_EXCEPTIONS = (SimulationHang,)
+
 
 def _is_transient(exc: BaseException) -> bool:
+    if isinstance(exc, PERMANENT_EXCEPTIONS):
+        return False
     return isinstance(exc, TRANSIENT_EXCEPTIONS)
 
 
@@ -167,14 +176,19 @@ class BatchReport:
                     "elapsed_s": round(r.elapsed_s, 3),
                 })
             else:
-                rows.append({
+                row = {
                     "label": r.spec.label if r.spec else None,
                     "spec_hash": r.spec_hash,
                     "status": "failed",
                     "error": f"{r.error_type}: {r.message}",
                     "attempts": r.attempts,
                     "elapsed_s": round(r.elapsed_s, 3),
-                })
+                }
+                if r.hang is not None:
+                    # Inline HangReport JSON: the forensics survive the
+                    # manifest even after the worker process is gone.
+                    row["hang"] = r.hang
+                rows.append(row)
         return {
             "total": self.total,
             "cache_hits": self.cache_hits,
@@ -288,6 +302,7 @@ class Runner:
             self._note(f"{spec.display}: transient "
                        f"{type(outcome).__name__}, retrying")
             return True
+        hang_report = getattr(outcome, "report", None)
         results[index] = RunFailure(
             spec=spec,
             spec_hash=spec.content_hash(),
@@ -296,6 +311,7 @@ class Runner:
             attempts=attempts,
             elapsed_s=elapsed,
             transient=transient,
+            hang=hang_report.to_dict() if hang_report is not None else None,
         )
         self._note(f"{spec.display}: FAILED ({type(outcome).__name__})")
         return False

@@ -20,7 +20,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
-from repro.sim.config import BOWSConfig, CacheConfig, DDOSConfig, GPUConfig
+from repro.sim.config import (BOWSConfig, CacheConfig, DDOSConfig, GPUConfig,
+                              PerturbConfig)
 
 
 def config_to_dict(config: GPUConfig) -> Dict[str, Any]:
@@ -35,6 +36,10 @@ def config_from_dict(data: Dict[str, Any]) -> GPUConfig:
     data["l2"] = CacheConfig(**data["l2"])
     data["bows"] = BOWSConfig(**data["bows"]) if data.get("bows") else None
     data["ddos"] = DDOSConfig(**data["ddos"]) if data.get("ddos") else None
+    if data.get("perturb"):
+        data["perturb"] = PerturbConfig(**data["perturb"])
+    else:
+        data.pop("perturb", None)
     return GPUConfig(**data)
 
 

@@ -38,6 +38,12 @@ class GlobalMemory:
     def __init__(self, size_words: int = 1 << 20) -> None:
         self.words = np.zeros(size_words, dtype=np.int64)
         self._next_free = 0
+        #: Write-version counter: bumped on every functional write.  An
+        #: O(1) global-progress witness for the forward-progress guard
+        #: (:mod:`repro.sim.progress`) — a spinning warp polls and
+        #: CAS-fails without ever writing, so a livelocked machine's
+        #: version goes flat while a progressing one keeps moving.
+        self.version = 0
 
     @property
     def size_bytes(self) -> int:
@@ -64,6 +70,7 @@ class GlobalMemory:
 
     def write(self, byte_addrs: np.ndarray, values: np.ndarray) -> None:
         self.words[self._index(byte_addrs)] = np.asarray(values, dtype=np.int64)
+        self.version += 1
 
     # Convenience scalar/stage helpers for workload setup and validation.
 
@@ -72,10 +79,12 @@ class GlobalMemory:
 
     def write_word(self, byte_addr: int, value: int) -> None:
         self.words[byte_addr // WORD_BYTES] = value
+        self.version += 1
 
     def store_array(self, byte_addr: int, values: Sequence[int]) -> None:
         start = byte_addr // WORD_BYTES
         self.words[start:start + len(values)] = np.asarray(values, dtype=np.int64)
+        self.version += 1
 
     def load_array(self, byte_addr: int, n_words: int) -> np.ndarray:
         start = byte_addr // WORD_BYTES
@@ -128,6 +137,17 @@ class MemorySubsystem:
         self._bank_free = [0] * config.num_l2_banks
         self._dram_free = 0
         self.stats = MemoryStats()
+        # Seeded memory-latency spread (schedule-perturbation fuzzing):
+        # the RNG sequence is a deterministic function of the seed and
+        # the (deterministic) global access order, so a fuzz seed
+        # reproduces its schedule exactly.
+        perturb = config.perturb
+        self._jitter = 0
+        self._jitter_rng = None
+        if perturb is not None and perturb.mem_jitter_cycles > 0:
+            import random
+            self._jitter = perturb.mem_jitter_cycles
+            self._jitter_rng = random.Random(perturb.seed * 1000003 + 17)
 
     # ------------------------------------------------------------------
 
@@ -140,14 +160,18 @@ class MemorySubsystem:
         if service is None:
             service = cfg.l2_service_interval
         self._bank_free[bank] = start + service
+        jitter = (
+            self._jitter_rng.randrange(self._jitter + 1)
+            if self._jitter_rng is not None else 0
+        )
         if self.l2.access(line_addr):
             self.stats.l2_hits += 1
-            return start + cfg.l2_hit_latency
+            return start + cfg.l2_hit_latency + jitter
         self.stats.l2_misses += 1
         dram_start = max(start + cfg.l2_hit_latency, self._dram_free)
         self._dram_free = dram_start + cfg.dram_service_interval
         self.stats.dram_accesses += 1
-        return dram_start + cfg.dram_latency
+        return dram_start + cfg.dram_latency + jitter
 
     def _classify(self, n_tx: int, sync: bool) -> None:
         if sync:

@@ -98,6 +98,36 @@ class DDOSConfig:
 
 
 @dataclass(frozen=True)
+class PerturbConfig:
+    """Seeded schedule-perturbation knobs (the fuzzing surface).
+
+    All perturbations are deterministic functions of ``seed`` and the
+    simulated cycle, so a hang found by the fuzzer reproduces exactly
+    from its reported seed.  They perturb *timing only* — functional
+    execution is untouched — which is precisely what exposes
+    schedule-dependent synchronization bugs (Sorensen et al.,
+    "Specifying and Testing GPU Workgroup Progress Models").
+    """
+
+    seed: int = 0
+    #: Probability that a scheduler's pick is replaced by a uniformly
+    #: random choice among the ready warps (tie-break jitter).
+    sched_jitter: float = 0.05
+    #: Maximum extra cycles added to each L2/DRAM access completion
+    #: (randomized memory-latency spread).  0 disables.
+    mem_jitter_cycles: int = 0
+    #: Force-prioritize a rotating warp slot every this many cycles
+    #: (warp-priority rotation).  0 disables.
+    rotation_period: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sched_jitter <= 1.0:
+            raise ValueError("sched_jitter must be in [0, 1]")
+        if self.mem_jitter_cycles < 0 or self.rotation_period < 0:
+            raise ValueError("perturbation magnitudes must be >= 0")
+
+
+@dataclass(frozen=True)
 class GPUConfig:
     """Top-level machine description (paper Table II, bottom)."""
 
@@ -152,6 +182,25 @@ class GPUConfig:
 
     #: Cap on simulated cycles (safety net against livelock in experiments).
     max_cycles: int = 30_000_000
+
+    #: Forward-progress watchdog: a run that makes no observable global
+    #: progress (no memory write, no lock acquisition, no warp
+    #: completing) for this many cycles is classified and aborted as a
+    #: deadlock or livelock (see :mod:`repro.sim.progress`).  0 disables
+    #: the watchdog; detection latency is bounded by
+    #: ``no_progress_window + progress_epoch``.
+    no_progress_window: int = 500_000
+    #: Cycles between ProgressMonitor samples (clamped to the window).
+    progress_epoch: int = 25_000
+    #: A warp re-executing at most this many distinct sampled PCs during
+    #: a no-progress window counts as stuck in a spin loop.
+    hang_footprint_limit: int = 16
+    #: Run the (slow) per-epoch InvariantChecker: scoreboard-entry
+    #: balance, SIMT-stack depth bounds, reconvergence sanity.
+    invariant_checks: bool = False
+
+    #: Seeded schedule perturbation (fuzzing); None = faithful timing.
+    perturb: Optional[PerturbConfig] = None
 
     def replace(self, **changes) -> "GPUConfig":
         """Return a copy with ``changes`` applied."""

@@ -11,6 +11,9 @@ to stepping every cycle.
 If no warp can ever become ready again the workload has deadlocked; the
 simulator raises :class:`SimulationDeadlock` with per-warp diagnostics —
 this is exactly how SIMT-induced deadlocks (paper Section IV) manifest.
+Livelocks (warps issuing spin iterations forever) are classified by the
+:class:`~repro.sim.progress.ProgressMonitor`, sampled from the loop every
+``config.progress_epoch`` cycles; see :mod:`repro.sim.progress`.
 """
 
 from __future__ import annotations
@@ -23,15 +26,18 @@ from repro.isa.program import Program
 from repro.memory.memsys import GlobalMemory, MemorySubsystem
 from repro.metrics.stats import SimStats
 from repro.sim.config import GPUConfig
+# Re-exported here for backwards compatibility: these were defined in
+# this module before the forward-progress guard existed.
+from repro.sim.progress import (  # noqa: F401
+    HangReport,
+    ProgressMonitor,
+    SimulationDeadlock,
+    SimulationHang,
+    SimulationLivelock,
+    SimulationTimeout,
+    build_hang_report,
+)
 from repro.sim.sm import SM, WarpKey
-
-
-class SimulationDeadlock(RuntimeError):
-    """No warp can ever become ready again (e.g. SIMT-induced deadlock)."""
-
-
-class SimulationTimeout(RuntimeError):
-    """The run exceeded ``config.max_cycles``."""
 
 
 @dataclass
@@ -132,6 +138,11 @@ class GPU:
                     age_counter += warps_per_cta
 
         dispatch()
+        monitor: Optional[ProgressMonitor] = None
+        if config.no_progress_window > 0:
+            monitor = ProgressMonitor(
+                config, sms, self.memory, stats, tracer=self.tracer
+            )
         now = 0
         while True:
             issued = 0
@@ -141,10 +152,22 @@ class GPU:
                 dispatch()  # refill any SM that freed CTA slots
             if next_cta >= launch.grid_dim and all(sm.idle for sm in sms):
                 break
+            if monitor is not None and now >= monitor.next_sample:
+                monitor.sample(now)  # raises on a classified hang
             if now >= config.max_cycles:
+                report = None
+                if monitor is not None:
+                    report = monitor.timeout_report(now)
+                else:
+                    report = build_hang_report(
+                        "timeout", now, sms, memory=self.memory,
+                        stats=stats, tracer=self.tracer,
+                        reason="exceeded max_cycles (watchdog disabled)",
+                    )
                 raise SimulationTimeout(
                     f"kernel {launch.program.name!r} exceeded "
-                    f"{config.max_cycles} cycles"
+                    f"{config.max_cycles} cycles\n" + report.describe(),
+                    report,
                 )
             if issued:
                 next_now = now + 1
@@ -152,7 +175,12 @@ class GPU:
                 events = [sm.next_event(now) for sm in sms]
                 events = [e for e in events if e is not None]
                 if not events:
-                    raise SimulationDeadlock(self._deadlock_report(sms, now))
+                    report = build_hang_report(
+                        "deadlock", now, sms, memory=self.memory,
+                        stats=stats, tracer=self.tracer,
+                        reason="no warp can ever become ready again",
+                    )
+                    raise SimulationDeadlock(report.describe(), report)
                 next_now = min(events)
             dt = next_now - now
             for sm in sms:
@@ -174,18 +202,8 @@ class GPU:
 
     @staticmethod
     def _deadlock_report(sms: List[SM], now: int) -> str:
-        lines = [f"simulation deadlocked at cycle {now}; warp states:"]
-        for sm in sms:
-            for slot, warp in sorted(sm.warps.items()):
-                if warp.finished:
-                    continue
-                state = "barrier" if warp.at_barrier else f"pc={warp.pc}"
-                lines.append(
-                    f"  SM{sm.sm_id} slot {slot} cta {warp.cta_id}: {state}"
-                )
-        lines.append(
-            "hint: a warp blocked forever at a barrier or reconvergence "
-            "point usually indicates a SIMT-induced deadlock "
-            "(paper Section IV)"
-        )
-        return "\n".join(lines)
+        """Legacy text renderer, now backed by :class:`HangReport`."""
+        return build_hang_report(
+            "deadlock", now, sms,
+            reason="no warp can ever become ready again",
+        ).describe()

@@ -13,9 +13,10 @@ BOWS backed-off queue (:meth:`repro.core.bows.BOWSUnit.select_backed_off`).
 
 from __future__ import annotations
 
+import random
 from typing import Dict, List, Optional, Set
 
-from repro.sim.config import GPUConfig
+from repro.sim.config import GPUConfig, PerturbConfig
 from repro.sim.warp import Warp
 
 
@@ -116,21 +117,75 @@ class CAWAScheduler(WarpScheduler):
         return best
 
 
+class PerturbedScheduler(WarpScheduler):
+    """Seeded perturbation layered over any base policy (fuzzing).
+
+    Not a policy of its own: the schedule-perturbation fuzzer
+    (:mod:`repro.fuzz`) wraps the configured base scheduler with this to
+    explore the space of legal-but-unlucky issue orders.  Two knobs:
+
+    * *tie-break jitter* — with probability ``sched_jitter`` the base
+      policy's pick is replaced by a seeded-random choice among the
+      ready warps;
+    * *priority rotation* — every ``rotation_period`` cycles a rotating
+      warp slot is force-prioritized whenever it is ready, emulating
+      adversarial age/priority reassignment.
+
+    Both are deterministic in (seed, cycle, issue history), so a fuzz
+    seed replays its schedule exactly.
+    """
+
+    name = "perturbed"
+
+    def __init__(self, base: WarpScheduler, perturb: PerturbConfig,
+                 salt: int) -> None:
+        super().__init__(base.config, base.slots)
+        self.base = base
+        self.perturb = perturb
+        self._rng = random.Random(perturb.seed * 1000003 + salt)
+
+    def select(self, ready: Set[int], warps: Dict[int, Warp],
+               now: int) -> Optional[int]:
+        if not ready:
+            return None
+        p = self.perturb
+        if p.rotation_period > 0 and self.slots:
+            pivot = self.slots[(now // p.rotation_period) % len(self.slots)]
+            if pivot in ready:
+                return pivot
+        if p.sched_jitter > 0 and self._rng.random() < p.sched_jitter:
+            return self._rng.choice(sorted(ready))
+        return self.base.select(ready, warps, now)
+
+    def notify_issue(self, slot: int, now: int) -> None:
+        super().notify_issue(slot, now)
+        self.base.notify_issue(slot, now)
+
+
 _SCHEDULERS = {
     cls.name: cls for cls in (LRRScheduler, GTOScheduler, CAWAScheduler)
 }
 
 
 def make_scheduler(name: str, config: GPUConfig,
-                   slots: List[int]) -> WarpScheduler:
-    """Instantiate a scheduler policy by name (``lrr``/``gto``/``cawa``)."""
+                   slots: List[int],
+                   salt: int = 0) -> WarpScheduler:
+    """Instantiate a scheduler policy by name (``lrr``/``gto``/``cawa``).
+
+    When ``config.perturb`` is set the policy is wrapped in a
+    :class:`PerturbedScheduler` seeded from ``config.perturb.seed`` and
+    ``salt`` (unique per scheduler instance across the GPU).
+    """
     try:
         cls = _SCHEDULERS[name]
     except KeyError:
         raise ValueError(
             f"unknown scheduler {name!r}; choose from {sorted(_SCHEDULERS)}"
         ) from None
-    return cls(config, slots)
+    scheduler = cls(config, slots)
+    if config.perturb is not None:
+        scheduler = PerturbedScheduler(scheduler, config.perturb, salt)
+    return scheduler
 
 
 def scheduler_names() -> List[str]:

@@ -82,6 +82,7 @@ class SM:
                 config.scheduler,
                 config,
                 [s for s in range(config.max_warps_per_sm) if s % n_sched == i],
+                salt=sm_id * n_sched + i,
             )
             for i in range(n_sched)
         ]
@@ -457,7 +458,7 @@ class SM:
             if is_lock_try and instr.opcode is Opcode.ATOM_CAS:
                 self._record_lock_attempt(
                     addr, old == int(operands[0][lane]) or magic,
-                    warp_key, int(lane),
+                    warp, warp_key, int(lane),
                 )
             if instr.has_role("lock_release"):
                 self.lock_table.pop(addr, None)
@@ -472,18 +473,22 @@ class SM:
             self._reserve(warp, instr, result.completion)
         warp.stack.advance()
 
-    def _record_lock_attempt(self, addr: int, success: bool,
+    def _record_lock_attempt(self, addr: int, success: bool, warp: Warp,
                              warp_key: WarpKey, lane: int) -> None:
         locks = self.stats.locks
         if success:
             locks.lock_success += 1
             self.lock_table[addr] = (warp_key, lane)
+            warp.lock_fail_addr = None
         else:
             holder = self.lock_table.get(addr)
             if holder is not None and holder[0] == warp_key:
                 locks.intra_warp_fail += 1
             else:
                 locks.inter_warp_fail += 1
+            # Hang forensics: remember which lock this warp is stuck on.
+            warp.lock_fail_addr = addr
+            warp.lock_fails += 1
 
     # ------------------------------------------------------------------
     # Helpers

@@ -84,6 +84,20 @@ class Tracer:
     def records(self) -> List[TraceRecord]:
         return list(self._records)
 
+    def tail(self, n: int) -> List[TraceRecord]:
+        """The last ``n`` issue records (newest last).
+
+        Hang forensics: :mod:`repro.sim.progress` embeds the tail in a
+        :class:`~repro.sim.progress.HangReport` to show what the machine
+        was issuing when it stopped making progress.
+        """
+        if n <= 0:
+            return []
+        records = self._records
+        if len(records) <= n:
+            return list(records)
+        return [records[i] for i in range(len(records) - n, len(records))]
+
     def export_chrome_trace(self, path) -> int:
         """Dump the ring buffer as Chrome ``trace_event`` JSON.
 

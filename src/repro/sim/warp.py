@@ -77,6 +77,11 @@ class Warp:
         self.backed_off = False
         self.pending_delay_until = 0
 
+        # Hang forensics: last lock address this warp failed to acquire
+        # and how many acquires have failed (repro.sim.progress).
+        self.lock_fail_addr: Optional[int] = None
+        self.lock_fails = 0
+
         # CAWA criticality inputs.
         self.cawa_ninst = float(program.static_size)
         self.cawa_nstall = 0.0

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.cli import _parse_params, main
+from repro.cli import (EXIT_HANG, EXIT_TRANSIENT, EXIT_VALIDATION,
+                       _parse_params, main)
 
 
 def test_list(capsys):
@@ -105,3 +106,101 @@ def test_experiment_no_cache_flag(tmp_path, capsys):
                  "--no-cache"]) == 0
     out = capsys.readouterr().out
     assert "0 cached" in out
+
+
+# ----------------------------------------------------------------------
+# Exit codes (hang=3, validation=4, transient=5) and the fuzz command
+
+
+def test_run_hang_exits_3(capsys):
+    code = main([
+        "run", "vecadd",
+        "--param", "n_threads=64",
+        "--param", "per_thread=2",
+        "--param", "block_dim=32",
+        "--max-cycles", "50",
+        "--watchdog", "30",
+        "--progress-epoch", "10",
+    ])
+    assert code == EXIT_HANG
+    out = capsys.readouterr().out
+    assert "HANG" in out
+    assert "warp states" in out  # the HangReport rendering
+
+
+def test_run_validation_failure_exits_4(capsys, monkeypatch):
+    import repro.cli as cli
+    from repro.kernels import WorkloadError
+
+    def rigged(workload, config):
+        raise WorkloadError("answers differ")
+
+    monkeypatch.setattr(cli, "run_workload", rigged)
+    code = main(["run", "vecadd", "--param", "n_threads=64",
+                 "--param", "block_dim=32"])
+    assert code == EXIT_VALIDATION
+    assert "VALIDATION FAILED" in capsys.readouterr().out
+
+
+def test_run_transient_error_exits_5(capsys, monkeypatch):
+    import repro.cli as cli
+
+    def flaky(workload, config):
+        raise OSError("worker vanished")
+
+    monkeypatch.setattr(cli, "run_workload", flaky)
+    code = main(["run", "vecadd", "--param", "n_threads=64",
+                 "--param", "block_dim=32"])
+    assert code == EXIT_TRANSIENT
+    assert "transient error" in capsys.readouterr().out
+
+
+def test_fuzz_clean_kernel_exits_0(tmp_path, capsys):
+    report_path = str(tmp_path / "fuzz.json")
+    code = main([
+        "fuzz", "vecadd", "--seeds", "2", "--budget-cycles", "30000",
+        "--param", "n_threads=64", "--param", "per_thread=2",
+        "--param", "block_dim=32",
+        "--json", report_path,
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "2 clean" in out
+
+    import json
+    payload = json.loads(open(report_path).read())
+    assert payload["clean"] == [0, 1]
+    assert payload["findings"] == []
+
+
+def test_fuzz_hang_exits_3(capsys, monkeypatch):
+    """A seed that hangs turns the whole fuzz run into exit code 3 and
+    prints a deterministic repro command."""
+    from repro.fuzz import harness as fuzz_harness
+    from repro.sim.progress import HangReport, SimulationLivelock
+
+    original = fuzz_harness.ScheduleFuzzer.run
+
+    def run_with_stub(self, seeds, runner=None, shrink=True):
+        from repro.lab import Runner as LabRunner
+
+        def hang_on_zero(spec):
+            if spec.config.perturb.seed == 0:
+                raise SimulationLivelock("stuck", HangReport(
+                    kind="livelock", cycle=77, window=10, reason="stub"))
+            from repro.lab.results import RunResult
+            from repro.metrics.stats import SimStats
+            return RunResult(spec_hash=spec.content_hash(), cycles=5,
+                             stats=SimStats(cycles=5))
+
+        return original(self, seeds, runner=LabRunner(workers=1,
+                                                      run_fn=hang_on_zero),
+                        shrink=shrink)
+
+    monkeypatch.setattr(fuzz_harness.ScheduleFuzzer, "run", run_with_stub)
+    code = main(["fuzz", "vecadd", "--seeds", "2",
+                 "--param", "n_threads=64"])
+    assert code == EXIT_HANG
+    out = capsys.readouterr().out
+    assert "1 hang(s)" in out
+    assert "--seed-base 0" in out

@@ -277,6 +277,56 @@ def test_failed_runs_are_not_cached(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# Runner: hang policy (satellite of the forward-progress guard)
+
+
+@pytest.mark.parametrize("hang_type", [
+    "SimulationDeadlock", "SimulationLivelock", "SimulationTimeout",
+])
+def test_hangs_are_never_retried(hang_type):
+    """A hang is a deterministic function of the spec: retrying burns a
+    worker on the exact same hang, so the retry policy must treat every
+    SimulationHang subclass as permanent even with retries configured."""
+    import repro.sim.progress as progress
+
+    exc_type = getattr(progress, hang_type)
+    calls = {"n": 0}
+
+    def hangs(spec):
+        calls["n"] += 1
+        raise exc_type("wedged")
+
+    runner = Runner(workers=1, retries=3, run_fn=hangs)
+    report = runner.run_many([vecadd_spec()])
+    (failure,) = report.results
+    assert not failure.ok
+    assert calls["n"] == 1 and failure.attempts == 1
+    assert not failure.transient
+    assert failure.error_type == hang_type
+    assert report.retried == 0
+
+
+def test_hang_report_lands_in_failure_and_manifest():
+    from repro.sim.progress import HangReport, SimulationLivelock
+
+    def livelocked(spec):
+        raise SimulationLivelock("spin forever", HangReport(
+            kind="livelock", cycle=9_000, window=4_000, reason="stub"))
+
+    report = Runner(workers=1, run_fn=livelocked).run_many([vecadd_spec()])
+    (failure,) = report.results
+    assert failure.hung
+    assert failure.hang["kind"] == "livelock"
+    assert "[hang: livelock at cycle 9000]" in failure.describe()
+
+    manifest = report.manifest()
+    row = manifest["runs"][0]
+    assert row["status"] == "failed"
+    assert row["hang"]["cycle"] == 9_000
+    json.dumps(manifest)  # hang forensics must stay JSON-clean
+
+
+# ----------------------------------------------------------------------
 # Sweep
 
 
