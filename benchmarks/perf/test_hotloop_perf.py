@@ -1,0 +1,63 @@
+"""Perf smoke test: the fast engine must stay fast.
+
+Wall-clock thresholds are machine-dependent, so the regression check is
+a *ratio of ratios*: measure the fast/reference speedup on this machine
+right now and compare it to the speedup recorded in the committed
+``BENCH_hotloop.json`` (produced by ``python -m repro bench``).  Both
+numbers divide out the machine's absolute speed; a drop of more than
+30% means the hot loop itself regressed, not the hardware.
+
+Only the ``ht`` entries are re-measured (the full matrix is the CLI's
+job); geomean over baseline+BOWS with min-of-``reps`` wall times keeps
+the check stable on noisy shared machines.
+
+Run explicitly (not part of tier-1)::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -q
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+import pytest
+
+from repro.bench import FULL_MATRIX, load_benchmark, run_benchmark
+
+#: Committed benchmark record at the repository root.
+BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))),
+    "BENCH_hotloop.json",
+)
+
+#: Allowed speedup regression versus the committed record.
+TOLERANCE = 0.30
+
+
+def _geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def test_fast_engine_speedup_has_not_regressed():
+    committed = load_benchmark(BENCH_PATH)
+    if committed is None:
+        pytest.skip(f"no compatible benchmark record at {BENCH_PATH}")
+
+    committed_ht = [e["speedup"] for e in committed["entries"]
+                    if e["kernel"] == "ht"]
+    assert committed_ht, "committed record has no ht entries"
+
+    ht_matrix = tuple((k, p) for k, p in FULL_MATRIX if k == "ht")
+    fresh = run_benchmark(reps=3, matrix=ht_matrix)
+    fresh_ht = [e["speedup"] for e in fresh["entries"]]
+
+    committed_speedup = _geomean(committed_ht)
+    fresh_speedup = _geomean(fresh_ht)
+    floor = committed_speedup * (1.0 - TOLERANCE)
+    assert fresh_speedup >= floor, (
+        f"fast-engine speedup regressed: geomean {fresh_speedup:.2f}x on "
+        f"ht vs committed {committed_speedup:.2f}x "
+        f"(floor with {TOLERANCE:.0%} tolerance: {floor:.2f}x)"
+    )

@@ -6,17 +6,22 @@ SIMT GPU simulator.
 
 Quickstart::
 
-    from repro import build_workload, make_config, run_workload
+    from repro import GPUConfig, simulate
 
-    workload = build_workload("ht", n_threads=512, n_buckets=64)
-    baseline = run_workload(workload, make_config("gto"))
-    bows = run_workload(build_workload("ht"), make_config("gto", bows=True))
+    baseline = simulate("ht", config=GPUConfig.preset("fermi"))
+    bows = simulate("ht", config=GPUConfig.preset("fermi", bows=True))
     print(baseline.cycles / bows.cycles)  # BOWS speedup
+
+:func:`repro.api.simulate` is the single simulation entry point — it also
+accepts a built :class:`Workload`, a :class:`KernelLaunch`, or a bare
+:class:`Program`, and selects the execution engine (``fast`` by default;
+``reference`` is the bitwise-equivalent seed implementation).
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every figure and table.
 """
 
+from repro.api import simulate
 from repro.core import hardware_cost
 from repro.core.adaptive import AdaptiveDelayController
 from repro.core.bows import BOWSUnit
@@ -88,5 +93,6 @@ __all__ = [
     "make_config",
     "pascal_config",
     "run_workload",
+    "simulate",
     "__version__",
 ]

@@ -1,0 +1,157 @@
+"""Stable simulation facade: one entry point for every way to run a kernel.
+
+Every consumer of the simulator — the CLI, the experiment harness, the
+lab runner, the fuzzer, the benchmarks — wires a GPU the same way, so
+that wiring lives here exactly once.  :func:`simulate` accepts any of the
+four things callers naturally hold:
+
+* a kernel **name** (``"ht"``) — built fresh via :func:`repro.kernels.build`
+  with ``params`` forwarded to the builder;
+* a built :class:`~repro.kernels.base.Workload` — validated after the run
+  and guarded against accidental reuse;
+* a bare :class:`~repro.sim.gpu.KernelLaunch`;
+* a bare :class:`~repro.isa.program.Program` — wrapped in a single-warp
+  launch (one CTA of one warp), the idiom unit tests use.
+
+Quickstart::
+
+    from repro.api import simulate
+    from repro.sim.config import GPUConfig
+
+    result = simulate("ht", config=GPUConfig.preset("fermi", bows="adaptive"))
+    print(result.stats.summary())
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.isa.program import Program
+from repro.kernels import build as build_workload
+from repro.kernels.base import Workload, WorkloadReuseError
+from repro.memory.memsys import GlobalMemory
+from repro.sim.config import GPUConfig
+from repro.sim.gpu import GPU, KernelLaunch, SimResult
+
+#: What :func:`simulate` accepts as its target.
+SimTarget = Union[str, Workload, KernelLaunch, Program]
+
+#: How :func:`simulate` accepts watchdog overrides.
+WatchdogSpec = Union[None, bool, int, Dict[str, int]]
+
+
+def _resolve_config(config: Union[GPUConfig, str, None],
+                    scheduler: Optional[str],
+                    watchdog: WatchdogSpec) -> GPUConfig:
+    if config is None:
+        config = GPUConfig.preset("fermi")
+    elif isinstance(config, str):
+        config = GPUConfig.preset(config)
+    elif not isinstance(config, GPUConfig):
+        raise TypeError(f"cannot interpret config={config!r}")
+    if scheduler is not None:
+        config = config.replace(scheduler=scheduler)
+    if watchdog is None:
+        return config
+    if watchdog is False:
+        return config.replace(no_progress_window=0)
+    if watchdog is True:
+        return config  # keep the preset's watchdog settings
+    if isinstance(watchdog, int):
+        return config.replace(no_progress_window=watchdog)
+    if isinstance(watchdog, dict):
+        return config.replace(**watchdog)
+    raise TypeError(f"cannot interpret watchdog={watchdog!r}")
+
+
+def simulate(
+    target: SimTarget,
+    *,
+    config: Union[GPUConfig, str, None] = None,
+    scheduler: Optional[str] = None,
+    params: Optional[Dict[str, int]] = None,
+    memory: Optional[GlobalMemory] = None,
+    tracer=None,
+    watchdog: WatchdogSpec = None,
+    engine: str = "fast",
+    validate: bool = True,
+) -> SimResult:
+    """Simulate ``target`` and return its :class:`SimResult`.
+
+    Args:
+        target: a kernel name, :class:`Workload`, :class:`KernelLaunch`,
+            or :class:`Program` (run as one warp).
+        config: a :class:`GPUConfig`, a preset name (``"fermi"`` /
+            ``"pascal"``), or None for the Fermi preset.  Build richer
+            configurations with :meth:`GPUConfig.preset`.
+        scheduler: override the config's base policy
+            (``lrr``/``gto``/``cawa``).
+        params: kernel parameters.  For a named target they go to the
+            workload builder; for a launch/program target they become
+            the launch's ``ld.param`` values.
+        memory: initial global-memory image for launch/program targets
+            (workloads carry their own).
+        tracer: optional :class:`repro.sim.trace.Tracer` recording issues.
+        watchdog: forward-progress watchdog control — ``False``/``0``
+            disables it, an integer sets ``no_progress_window``, a dict
+            overrides any watchdog-related config fields verbatim.
+        engine: ``"fast"`` (default) or ``"reference"``; both produce
+            bitwise-identical statistics (see :mod:`repro.sim.sm`).
+        validate: for workload targets, run the workload's functional
+            validation after simulation (skipped under ``magic_locks``,
+            whose results are intentionally not meaningful).
+
+    Returns:
+        The :class:`SimResult`, whose ``stats.summary()`` is the stable
+        reporting schema (see :class:`repro.metrics.stats.SimStats`).
+    """
+    config = _resolve_config(config, scheduler, watchdog)
+
+    if isinstance(target, str):
+        target = build_workload(target, **(params or {}))
+        params = None
+
+    if isinstance(target, Workload):
+        if memory is not None:
+            raise ValueError(
+                "workload targets carry their own memory image; "
+                "the memory= argument is only for launch/program targets"
+            )
+        if params is not None:
+            raise ValueError(
+                "params= applies when building a kernel by name or "
+                "launching a bare program; this workload is already built"
+            )
+        workload = target
+        if workload.consumed:
+            raise WorkloadReuseError(
+                f"workload {workload.name!r} has already been executed and "
+                f"its memory image mutated; build a fresh one with "
+                f"repro.kernels.build({workload.name!r}, ...) for every run"
+            )
+        workload.consumed = True
+        gpu = GPU(config, memory=workload.memory, tracer=tracer,
+                  engine=engine)
+        result = gpu.launch(workload.launch)
+        if validate and not config.magic_locks:
+            workload.validate(result.memory)
+        return result
+
+    if isinstance(target, Program):
+        target = KernelLaunch(
+            program=target,
+            grid_dim=1,
+            block_dim=config.warp_size,
+            params=dict(params or {}),
+        )
+    elif params is not None:
+        raise ValueError(
+            "params= is ignored for a prepared KernelLaunch; set "
+            "launch.params instead"
+        )
+
+    if not isinstance(target, KernelLaunch):
+        raise TypeError(f"cannot simulate target {target!r}")
+
+    gpu = GPU(config, memory=memory, tracer=tracer, engine=engine)
+    return gpu.launch(target)

@@ -10,6 +10,7 @@ Usage::
     python -m repro run ht --param n_buckets=8 --param n_threads=512
     python -m repro run atm --watchdog 100000 --progress-epoch 5000
     python -m repro fuzz ht --seeds 16 --budget-cycles 50000
+    python -m repro bench --out BENCH_hotloop.json --min-speedup 2.0
     python -m repro sweep --kernel ht --kernel tsp --bows none,1000,adaptive
     python -m repro cache stats
     python -m repro cache clear [--stale-only]
@@ -33,13 +34,14 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.api import simulate
 from repro.harness.experiments import ALL_EXPERIMENTS, run_delay_sweep
 from repro.harness.reporting import format_table
-from repro.harness.runner import make_config, run_workload
 from repro.kernels import build as build_workload, kernel_names
 from repro.kernels.base import WorkloadError
 from repro.lab import ResultCache, Runner, Sweep, use_runner
 from repro.lab.runner import RunTimeout, TransientRunError
+from repro.sim.config import GPUConfig
 from repro.sim.progress import SimulationHang
 
 #: Exit codes for machine consumers (CI, the fuzzer's repro command).
@@ -223,11 +225,11 @@ def _cmd_run(args) -> int:
         bows = True
     elif args.bows is not None:
         bows = int(args.bows)
-    config = make_config(
-        args.scheduler,
+    config = GPUConfig.preset(
+        args.preset,
+        scheduler=args.scheduler,
         bows=bows,
         ddos=None if not args.no_ddos else False,
-        preset=args.preset,
     )
     overrides = _watchdog_overrides(args)
     if overrides:
@@ -236,7 +238,7 @@ def _cmd_run(args) -> int:
     workload = build_workload(args.kernel, **params)
     start = time.time()
     try:
-        result = run_workload(workload, config)
+        result = simulate(workload, config=config, engine=args.engine)
     except SimulationHang as exc:
         print(f"kernel {args.kernel}: HANG ({type(exc).__name__})")
         print(exc.args[0] if exc.args else str(exc))
@@ -270,10 +272,10 @@ def _cmd_fuzz(args) -> int:
         bows = True
     elif args.bows is not None:
         bows = int(args.bows)
-    config = make_config(
-        args.scheduler,
+    config = GPUConfig.preset(
+        args.preset,
+        scheduler=args.scheduler,
         bows=bows,
-        preset=args.preset,
     )
     overrides = _watchdog_overrides(args)
     if overrides:
@@ -308,6 +310,47 @@ def _cmd_fuzz(args) -> int:
         return EXIT_VALIDATION
     if any(f.kind == "infra" for f in report.findings):
         return EXIT_TRANSIENT
+    return EXIT_OK
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench import (BenchError, load_benchmark, run_benchmark,
+                             write_benchmark)
+
+    try:
+        payload = run_benchmark(quick=args.quick, reps=args.reps,
+                                progress=print)
+    except BenchError as exc:
+        print(f"bench: EQUIVALENCE FAILURE: {exc}")
+        return EXIT_VALIDATION
+    summary = payload["summary"]
+    print(f"\nspeedup: min {summary['min_speedup']:.2f}x, "
+          f"geomean {summary['geomean_speedup']:.2f}x, "
+          f"max {summary['max_speedup']:.2f}x "
+          f"(peak RSS {summary['peak_rss_mb']:.0f} MiB)")
+    if args.baseline:
+        committed = load_benchmark(args.baseline)
+        if committed is None:
+            print(f"bench: no compatible baseline at {args.baseline}")
+        else:
+            by_key = {(e["kernel"], e["mode"]): e
+                      for e in committed["entries"]}
+            for entry in payload["entries"]:
+                ref = by_key.get((entry["kernel"], entry["mode"]))
+                if ref is None:
+                    continue
+                delta = entry["speedup"] / ref["speedup"] - 1.0
+                print(f"  vs baseline {entry['kernel']}/{entry['mode']}: "
+                      f"{ref['speedup']:.2f}x -> {entry['speedup']:.2f}x "
+                      f"({delta:+.0%})")
+    if args.out:
+        write_benchmark(payload, args.out)
+        print(f"[benchmark record written to {args.out}]")
+    if (args.min_speedup is not None
+            and summary["min_speedup"] < args.min_speedup):
+        print(f"bench: FAILED — min speedup {summary['min_speedup']:.2f}x "
+              f"< required {args.min_speedup:.2f}x")
+        return EXIT_FAILURE
     return EXIT_OK
 
 
@@ -374,7 +417,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     run.add_argument("--param", action="append", default=[],
                      metavar="NAME=VALUE",
                      help="workload parameter override (repeatable)")
+    run.add_argument("--engine", choices=("fast", "reference"),
+                     default="fast",
+                     help="execution engine (both are bitwise-equivalent; "
+                          "'reference' is the seed implementation)")
     _add_watchdog_options(run)
+
+    bench = sub.add_parser(
+        "bench",
+        help="measure fast-engine speedup on the fixed kernel matrix",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="shrunk matrix for CI smoke runs")
+    bench.add_argument("--reps", type=int, default=3,
+                       help="repetitions per engine (min wall time kept)")
+    bench.add_argument("--out", default=None, metavar="PATH",
+                       help="write the versioned benchmark JSON to PATH")
+    bench.add_argument("--min-speedup", type=float, default=None,
+                       metavar="X",
+                       help="fail (exit 1) if any entry's speedup < X")
+    bench.add_argument("--baseline", default=None, metavar="PATH",
+                       help="committed BENCH_hotloop.json to compare "
+                            "against (prints per-entry deltas)")
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -427,6 +491,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "cache":

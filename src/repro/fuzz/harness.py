@@ -183,8 +183,7 @@ class ScheduleFuzzer:
         scale: str = "quick",
     ) -> None:
         if base_config is None:
-            from repro.harness.runner import make_config
-            base_config = make_config("gto")
+            base_config = GPUConfig.preset("fermi", scheduler="gto")
         if params is None:
             from repro.harness.params import sync_free_params, sync_params
             registry: Dict[str, dict] = {}

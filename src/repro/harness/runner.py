@@ -1,22 +1,27 @@
-"""Configuration shorthand and one-call workload execution.
+"""Legacy configuration/execution shims over the :mod:`repro.api` facade.
 
-``make_config`` builds a :class:`~repro.sim.config.GPUConfig` from the
-vocabulary the paper uses — a base policy (``lrr``/``gto``/``cawa``),
-optionally "+BOWS" with a fixed or adaptive delay limit, and optionally
-DDOS (on by default whenever BOWS is on, as in the paper's evaluation).
+Historically this module owned both the configuration vocabulary
+(``make_config``) and workload execution (``run_workload``/``run_kernel``).
+Both now live elsewhere — the vocabulary in :meth:`GPUConfig.preset
+<repro.sim.config.GPUConfig.preset>`, execution in
+:func:`repro.api.simulate` — and these wrappers only delegate:
+
+* :func:`make_config` is a thin alias for ``GPUConfig.preset`` and stays
+  supported (it is pure configuration, with no wiring to drift);
+* :func:`run_workload` and :func:`run_kernel` are deprecated — they
+  predate the facade and duplicate its wiring decisions.  New code
+  should call ``simulate(workload_or_name, config=...)``.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+import warnings
+from typing import Union
 
-from repro.kernels import build as build_workload
-from repro.kernels.base import Workload, WorkloadReuseError
+from repro.api import simulate
+from repro.kernels.base import Workload, WorkloadReuseError  # noqa: F401
 from repro.sim.config import BOWSConfig, DDOSConfig, GPUConfig
-from repro.sim.config import fermi_config, pascal_config
-from repro.sim.gpu import GPU, SimResult
-
-_PRESETS = {"fermi": fermi_config, "pascal": pascal_config}
+from repro.sim.gpu import SimResult
 
 
 def make_config(
@@ -26,81 +31,44 @@ def make_config(
     preset: str = "fermi",
     **overrides,
 ) -> GPUConfig:
-    """Build a GPU configuration.
+    """Build a GPU configuration (alias for :meth:`GPUConfig.preset`).
 
-    Args:
-        scheduler: base policy — ``lrr``, ``gto``, or ``cawa``.
-        bows: enable BOWS.  ``True`` → adaptive delay limit (the paper's
-            default); an integer → fixed delay limit in cycles;
-            ``"adaptive"`` → adaptive; a :class:`BOWSConfig` → verbatim.
-        ddos: enable DDOS.  Defaults to on whenever BOWS is on (SIBs are
-            then detected dynamically); pass ``False`` with BOWS on to
-            fall back to static ``!sib`` annotations ("programmer
-            annotation" mode).
-        preset: ``fermi`` (GTX480-shaped) or ``pascal`` (GTX1080Ti-shaped).
-        overrides: any :class:`GPUConfig` field, e.g. ``num_sms=1``.
+    See :meth:`repro.sim.config.GPUConfig.preset` for the argument
+    vocabulary (this wrapper just reorders ``preset`` into a keyword).
     """
-    if preset not in _PRESETS:
-        raise ValueError(f"unknown preset {preset!r}; use {sorted(_PRESETS)}")
-
-    bows_config: Optional[BOWSConfig]
-    if bows is None or bows is False:
-        bows_config = None
-    elif isinstance(bows, BOWSConfig):
-        bows_config = bows
-    elif bows is True or bows == "adaptive":
-        bows_config = BOWSConfig(adaptive=True)
-    elif isinstance(bows, int):
-        bows_config = BOWSConfig(delay_limit=bows, adaptive=False)
-    else:
-        raise TypeError(f"cannot interpret bows={bows!r}")
-
-    ddos_config: Optional[DDOSConfig]
-    if ddos is None:
-        ddos_config = DDOSConfig() if bows_config is not None else None
-    elif ddos is False:
-        ddos_config = None
-    elif ddos is True:
-        ddos_config = DDOSConfig()
-    elif isinstance(ddos, DDOSConfig):
-        ddos_config = ddos
-    else:
-        raise TypeError(f"cannot interpret ddos={ddos!r}")
-
-    return _PRESETS[preset](
-        scheduler=scheduler, bows=bows_config, ddos=ddos_config, **overrides
+    return GPUConfig.preset(
+        preset, scheduler=scheduler, bows=bows, ddos=ddos, **overrides
     )
 
 
 def run_workload(workload: Workload, config: GPUConfig,
                  validate: bool = True) -> SimResult:
-    """Simulate ``workload`` under ``config`` (validating the result).
+    """Deprecated: call :func:`repro.api.simulate` instead.
 
     A workload is single-use: execution mutates its memory image, so a
-    second run would start from corrupted state and produce garbage
-    results.  Re-running a consumed workload raises
-    :class:`~repro.kernels.base.WorkloadReuseError`.
+    second run would start from corrupted state.  Re-running a consumed
+    workload raises :class:`~repro.kernels.base.WorkloadReuseError`.
     """
-    if workload.consumed:
-        raise WorkloadReuseError(
-            f"workload {workload.name!r} has already been executed and its "
-            f"memory image mutated; build a fresh one with "
-            f"repro.kernels.build({workload.name!r}, ...) for every run"
-        )
-    workload.consumed = True
-    gpu = GPU(config, memory=workload.memory)
-    result = gpu.launch(workload.launch)
-    if validate and not config.magic_locks:
-        workload.validate(result.memory)
-    return result
+    warnings.warn(
+        "repro.harness.runner.run_workload is deprecated; use "
+        "repro.api.simulate(workload, config=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return simulate(workload, config=config, validate=validate)
 
 
 def run_kernel(name: str, config: GPUConfig, validate: bool = True,
                **params) -> SimResult:
-    """Build the named workload fresh and simulate it under ``config``.
+    """Deprecated: call :func:`repro.api.simulate` instead.
 
-    A workload's memory image is mutated by execution, so every run gets
-    a fresh build — never reuse a :class:`Workload` across runs.
+    Builds the named workload fresh and simulates it — every run gets a
+    fresh memory image.
     """
-    workload = build_workload(name, **params)
-    return run_workload(workload, config, validate=validate)
+    warnings.warn(
+        "repro.harness.runner.run_kernel is deprecated; use "
+        "repro.api.simulate(name, config=..., params=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return simulate(name, config=config, params=params, validate=validate)

@@ -53,6 +53,9 @@ class RunResult:
     #: ``DetectionOutcome`` fields (plain data) when DDOS was enabled.
     ddos: Optional[Dict[str, Any]] = None
     elapsed_s: float = 0.0
+    #: Per-phase wall-clock breakdown of ``elapsed_s`` (``build_s``,
+    #: ``simulate_s``, ``score_s``) when the run executed in-process.
+    phases: Optional[Dict[str, float]] = None
     attempts: int = 1
     from_cache: bool = False
     label: Optional[str] = None
@@ -67,6 +70,7 @@ class RunResult:
             "predicted_sibs": list(self.predicted_sibs),
             "ddos": self.ddos,
             "elapsed_s": self.elapsed_s,
+            "phases": self.phases,
         }
 
     @classmethod
@@ -78,6 +82,7 @@ class RunResult:
             predicted_sibs=list(data.get("predicted_sibs", [])),
             ddos=data.get("ddos"),
             elapsed_s=data.get("elapsed_s", 0.0),
+            phases=data.get("phases"),
         )
 
 

@@ -67,20 +67,24 @@ def _is_transient(exc: BaseException) -> bool:
 def execute_run(spec: RunSpec) -> RunResult:
     """Build, simulate, validate, and score one spec (worker entry)."""
     # Imported here so pool workers pay the import once and the lab core
-    # stays import-cycle-free with the harness layer.
+    # stays import-cycle-free with the harness/api layers.
     import dataclasses
 
-    from repro.harness.runner import run_workload
+    from repro.api import simulate
     from repro.kernels import build as build_workload
 
     start = time.perf_counter()
     workload = build_workload(spec.kernel, **spec.build_params())
-    sim = run_workload(workload, spec.config, validate=spec.validate)
+    built = time.perf_counter()
+    sim = simulate(workload, config=spec.config, validate=spec.validate,
+                   engine=spec.engine)
+    simulated = time.perf_counter()
 
     ddos_outcome = None
     if spec.config.ddos is not None:
         from repro.harness.ddos_eval import score_result
         ddos_outcome = dataclasses.asdict(score_result(spec.kernel, sim))
+    end = time.perf_counter()
 
     return RunResult(
         spec_hash=spec.content_hash(),
@@ -88,7 +92,12 @@ def execute_run(spec: RunSpec) -> RunResult:
         stats=sim.stats,
         predicted_sibs=sorted(sim.predicted_sibs()),
         ddos=ddos_outcome,
-        elapsed_s=time.perf_counter() - start,
+        elapsed_s=end - start,
+        phases={
+            "build_s": built - start,
+            "simulate_s": simulated - built,
+            "score_s": end - simulated,
+        },
         label=spec.label,
     )
 

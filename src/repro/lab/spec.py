@@ -67,6 +67,11 @@ class RunSpec:
     seed: Optional[int] = None
     #: Run the workload's functional validation after simulation.
     validate: bool = True
+    #: Execution engine (``"fast"``/``"reference"``).  Part of the hash:
+    #: the engines are bitwise-equivalent by contract, but cache entries
+    #: must say which engine actually produced them so equivalence can be
+    #: *checked* (the benchmark harness runs both and diffs).
+    engine: str = "fast"
     #: Display name for progress/manifests; NOT part of the hash.
     label: Optional[str] = None
 
@@ -84,6 +89,7 @@ class RunSpec:
             "params": dict(self.params),
             "seed": self.seed,
             "validate": self.validate,
+            "engine": self.engine,
         }
 
     @classmethod
@@ -95,6 +101,7 @@ class RunSpec:
             params=dict(data.get("params", {})),
             seed=data.get("seed"),
             validate=data.get("validate", True),
+            engine=data.get("engine", "fast"),
             label=label,
         )
 

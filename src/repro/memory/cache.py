@@ -19,16 +19,21 @@ class Cache:
 
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
+        # Geometry hoisted out of the per-access path (num_sets is a
+        # derived property on the config).
+        self._line_bytes = config.line_bytes
+        self._num_sets = config.num_sets
+        self._assoc = config.assoc
         self._sets: List["OrderedDict[int, None]"] = [
-            OrderedDict() for _ in range(config.num_sets)
+            OrderedDict() for _ in range(self._num_sets)
         ]
         self.hits = 0
         self.misses = 0
 
     def _locate(self, line_addr: int) -> "tuple[OrderedDict, int]":
-        line_index = line_addr // self.config.line_bytes
-        set_index = line_index % self.config.num_sets
-        tag = line_index // self.config.num_sets
+        line_index = line_addr // self._line_bytes
+        set_index = line_index % self._num_sets
+        tag = line_index // self._num_sets
         return self._sets[set_index], tag
 
     def access(self, line_addr: int, allocate: bool = True) -> bool:
@@ -43,7 +48,7 @@ class Cache:
             return True
         self.misses += 1
         if allocate:
-            if len(cache_set) >= self.config.assoc:
+            if len(cache_set) >= self._assoc:
                 cache_set.popitem(last=False)
             cache_set[tag] = None
         return False

@@ -26,5 +26,4 @@ def coalesce(addresses: np.ndarray, line_bytes: int) -> List[int]:
     """
     if addresses.size == 0:
         return []
-    lines = np.unique(addresses // line_bytes) * line_bytes
-    return [int(a) for a in lines]
+    return sorted({a // line_bytes * line_bytes for a in addresses.tolist()})

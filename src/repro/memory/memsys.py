@@ -222,17 +222,17 @@ class MemorySubsystem:
                sync: bool = True) -> MemoryAccessResult:
         """Atomic RMW: bypasses L1, serialized per unique address at L2."""
         cfg = self.config
-        unique = np.unique(np.asarray(addresses, dtype=np.int64))
+        unique = sorted(set(np.asarray(addresses, dtype=np.int64).tolist()))
         completion = now
         l1 = self.l1[sm_id]
         for addr in unique:
-            line = int(addr) // cfg.l1d.line_bytes * cfg.l1d.line_bytes
+            line = addr // cfg.l1d.line_bytes * cfg.l1d.line_bytes
             l1.invalidate(line)
             done = self._l2_latency(
                 line, now, service=cfg.atomic_service_interval
             ) + cfg.atomic_latency
             completion = max(completion, done)
-        n_tx = int(unique.size)
+        n_tx = len(unique)
         self.stats.atomic_transactions += n_tx
         self._classify(n_tx, sync)
         return MemoryAccessResult(completion, n_tx)

@@ -21,6 +21,34 @@ from typing import Dict
 
 from repro.memory.memsys import MemoryStats
 
+#: Version of the :meth:`SimStats.summary` reporting schema.  Bump this
+#: whenever a key is added, removed, renamed, or its meaning changes —
+#: downstream consumers (BENCH_hotloop.json, lab result caches, plots)
+#: key on it to detect incompatible records.
+SUMMARY_SCHEMA_VERSION = 1
+
+#: The frozen key list of :meth:`SimStats.summary`, in emission order.
+#: ``tests/test_stats_schema.py`` asserts summaries match this exactly;
+#: change it only together with ``SUMMARY_SCHEMA_VERSION``.
+SUMMARY_KEYS = (
+    "schema_version",
+    "cycles",
+    "warp_instructions",
+    "thread_instructions",
+    "ipc",
+    "simd_efficiency",
+    "sync_instruction_fraction",
+    "memory_transactions",
+    "sync_transaction_fraction",
+    "lock_success",
+    "inter_warp_fail",
+    "intra_warp_fail",
+    "wait_exit_success",
+    "wait_exit_fail",
+    "backed_off_fraction",
+    "dynamic_energy_pj",
+)
+
 
 @dataclass
 class LockStats:
@@ -150,8 +178,13 @@ class SimStats:
         self.memory.merge(other.memory)
 
     def summary(self) -> Dict[str, float]:
-        """Flat dict of headline numbers (reporting/serialization)."""
+        """Flat dict of headline numbers (reporting/serialization).
+
+        The key set is versioned: ``schema_version`` is always present
+        and the remaining keys are exactly ``SUMMARY_KEYS``.
+        """
         return {
+            "schema_version": SUMMARY_SCHEMA_VERSION,
             "cycles": self.cycles,
             "warp_instructions": self.warp_instructions,
             "thread_instructions": self.thread_instructions,

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 
 @dataclass(frozen=True)
@@ -210,6 +210,68 @@ class GPUConfig:
     def max_threads_per_sm(self) -> int:
         return self.max_warps_per_sm * self.warp_size
 
+    @classmethod
+    def preset(
+        cls,
+        name: str = "fermi",
+        *,
+        scheduler: str = "gto",
+        bows: Union[bool, int, str, BOWSConfig, None] = None,
+        ddos: Union[bool, DDOSConfig, None] = None,
+        **overrides,
+    ) -> "GPUConfig":
+        """Build a configuration from a named machine preset.
+
+        This is the one place the paper's configuration vocabulary is
+        interpreted:
+
+        Args:
+            name: ``"fermi"`` (GTX480-shaped) or ``"pascal"``
+                (GTX1080Ti-shaped).
+            scheduler: base policy — ``lrr``, ``gto``, or ``cawa``.
+            bows: enable BOWS.  ``True`` or ``"adaptive"`` → adaptive
+                delay limit (the paper's default); an integer → fixed
+                delay limit in cycles; a :class:`BOWSConfig` → verbatim.
+            ddos: enable DDOS.  Defaults to on whenever BOWS is on (SIBs
+                are then detected dynamically); pass ``False`` with BOWS
+                on to fall back to static ``!sib`` annotations
+                ("programmer annotation" mode).
+            overrides: any :class:`GPUConfig` field, e.g. ``num_sms=1``.
+        """
+        if name not in _PRESET_BUILDERS:
+            raise ValueError(
+                f"unknown preset {name!r}; use {sorted(_PRESET_BUILDERS)}"
+            )
+
+        bows_config: Optional[BOWSConfig]
+        if bows is None or bows is False:
+            bows_config = None
+        elif isinstance(bows, BOWSConfig):
+            bows_config = bows
+        elif bows is True or bows == "adaptive":
+            bows_config = BOWSConfig(adaptive=True)
+        elif isinstance(bows, int):
+            bows_config = BOWSConfig(delay_limit=bows, adaptive=False)
+        else:
+            raise TypeError(f"cannot interpret bows={bows!r}")
+
+        ddos_config: Optional[DDOSConfig]
+        if ddos is None:
+            ddos_config = DDOSConfig() if bows_config is not None else None
+        elif ddos is False:
+            ddos_config = None
+        elif ddos is True:
+            ddos_config = DDOSConfig()
+        elif isinstance(ddos, DDOSConfig):
+            ddos_config = ddos
+        else:
+            raise TypeError(f"cannot interpret ddos={ddos!r}")
+
+        return _PRESET_BUILDERS[name](
+            scheduler=scheduler, bows=bows_config, ddos=ddos_config,
+            **overrides,
+        )
+
 
 def fermi_config(**overrides) -> GPUConfig:
     """GTX480-shaped scaled configuration (paper Table II, left column)."""
@@ -246,3 +308,7 @@ def pascal_config(**overrides) -> GPUConfig:
         l2=CacheConfig(128 * 1024, 128, 16),
     )
     return base.replace(**overrides) if overrides else base
+
+
+#: Preset name → builder, consumed by :meth:`GPUConfig.preset`.
+_PRESET_BUILDERS = {"fermi": fermi_config, "pascal": pascal_config}

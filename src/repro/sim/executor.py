@@ -2,15 +2,27 @@
 
 These helpers are pure: they read operand lane-vectors and produce result
 lane-vectors.  All sequencing, masking, and timing live in the SM.
+
+The module also hosts the fast engine's instruction format: a
+:class:`DecodedProgram` pre-resolves every instruction once per
+(program, machine, params) combination into a :class:`DecodedOp` — a
+record of closure-bound operand readers and a specialized execute
+handler — so the per-issue hot path never touches ``isinstance``
+dispatch or opcode if-chains.  Handlers replicate the reference
+execution paths in :class:`repro.sim.sm.SM` statement for statement;
+the golden-equivalence suite (``tests/test_golden_equivalence.py``)
+asserts the two engines produce bitwise-identical statistics.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.isa.instructions import Imm, Mem, Opcode, Operand, Param, Pred, Reg, Sreg
+from repro.isa.program import Program
+from repro.sim.config import GPUConfig
 from repro.sim.registers import wrap_i32
 from repro.sim.warp import Warp
 
@@ -94,3 +106,478 @@ def eval_cmp(cmp: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
     if cmp == "ge":
         return a >= b
     raise ValueError(f"unknown comparison {cmp!r}")
+
+
+# ---------------------------------------------------------------------------
+# Pre-decoded execution records (the fast engine's instruction format).
+
+#: Reads one operand's lane vector from a warp.
+OperandReader = Callable[[Warp], np.ndarray]
+
+#: Latency class of an ALU opcode serviced by the SFU pipe.
+_SFU_OPCODES = (Opcode.MUL, Opcode.MAD, Opcode.DIV, Opcode.REM)
+
+
+def _frozen(vector: np.ndarray) -> np.ndarray:
+    """Mark a shared constant lane vector read-only (safety net)."""
+    vector.setflags(write=False)
+    return vector
+
+
+def _make_reader(operand: Operand, warp_size: int,
+                 params: Dict[str, int]) -> OperandReader:
+    """Closure-bound equivalent of :func:`read_operand` for one operand."""
+    if isinstance(operand, Reg):
+        name = operand.name
+        return lambda warp: warp.regs.read(name)
+    if isinstance(operand, Imm):
+        vector = _frozen(np.full(warp_size, operand.value, dtype=np.int64))
+        return lambda warp: vector
+    if isinstance(operand, Sreg):
+        name = operand.name
+        return lambda warp: warp.sregs[name]
+    if isinstance(operand, Pred):
+        name = operand.name
+        return lambda warp: warp.regs.read_pred(name).astype(np.int64)
+    if isinstance(operand, Param):
+        vector = _frozen(
+            np.full(warp_size, params[operand.name], dtype=np.int64)
+        )
+        return lambda warp: vector
+    raise TypeError(f"cannot read operand {operand!r}")
+
+
+def _make_mask_fn(instr) -> OperandReader:
+    """Closure-bound equivalent of :meth:`Warp.exec_mask`."""
+    if instr.guard is None:
+        return lambda warp: warp.stack.active_mask.copy()
+    name = instr.guard.name
+    if instr.guard_negated:
+        return lambda warp: np.logical_and(
+            warp.stack.active_mask, ~warp.regs.read_pred(name)
+        )
+    return lambda warp: np.logical_and(
+        warp.stack.active_mask, warp.regs.read_pred(name)
+    )
+
+
+class DecodedOp:
+    """One instruction decoded for the fast engine.
+
+    Everything the issue path needs is precomputed: the exec-mask
+    closure, scoreboard keys, instruction-class flags, and a
+    specialized ``handler(sm, warp, dop, exec_mask, now)`` that
+    replicates the reference ``SM._execute_*`` path for this opcode.
+    """
+
+    __slots__ = (
+        "instr", "index", "opcode", "mask_fn", "handler",
+        "hazard_keys", "dst_keys", "is_branch", "is_sync", "is_store",
+        "static_sib",
+    )
+
+    def __init__(self, instr, mask_fn, handler, static_sib: bool) -> None:
+        self.instr = instr
+        self.index = instr.index
+        self.opcode = instr.opcode
+        self.mask_fn = mask_fn
+        self.handler = handler
+        self.hazard_keys = instr.hazard_keys
+        self.dst_keys: Tuple[str, ...] = (
+            (instr.dst_key,) if instr.dst_key is not None else ()
+        )
+        self.is_branch = instr.is_branch
+        self.is_sync = instr.has_role("sync")
+        self.is_store = instr.opcode is Opcode.ST_GLOBAL
+        self.static_sib = static_sib
+
+
+def _div(srcs):
+    divisor = np.where(srcs[1] == 0, 1, srcs[1])
+    return np.where(srcs[1] == 0, 0,
+                    np.fix(srcs[0] / divisor).astype(np.int64))
+
+
+def _rem(srcs):
+    divisor = np.where(srcs[1] == 0, 1, srcs[1])
+    quotient = np.fix(srcs[0] / divisor).astype(np.int64)
+    return np.where(srcs[1] == 0, srcs[0], srcs[0] - quotient * divisor)
+
+
+#: Raw (pre-wrap) lane-vector computation per ALU opcode — each entry is
+#: the matching :func:`eval_alu` branch, bound at decode time so the hot
+#: path skips the opcode if-chain.
+_ALU_OPS = {
+    Opcode.MOV: lambda s: s[0],
+    Opcode.ADD: lambda s: s[0] + s[1],
+    Opcode.SUB: lambda s: s[0] - s[1],
+    Opcode.MUL: lambda s: s[0] * s[1],
+    Opcode.MAD: lambda s: s[0] * s[1] + s[2],
+    Opcode.DIV: _div,
+    Opcode.REM: _rem,
+    Opcode.AND: lambda s: np.bitwise_and(s[0], s[1]),
+    Opcode.OR: lambda s: np.bitwise_or(s[0], s[1]),
+    Opcode.XOR: lambda s: np.bitwise_xor(s[0], s[1]),
+    Opcode.NOT: lambda s: np.bitwise_not(s[0]),
+    Opcode.SHL: lambda s: np.left_shift(s[0], np.clip(s[1], 0, 31)),
+    Opcode.SHR: lambda s: np.right_shift(s[0], np.clip(s[1], 0, 31)),
+    Opcode.MIN: lambda s: np.minimum(s[0], s[1]),
+    Opcode.MAX: lambda s: np.maximum(s[0], s[1]),
+}
+
+
+def _make_alu_handler(instr, warp_size, params, alu_latency, sfu_latency):
+    opcode = instr.opcode
+    dst_name = instr.dst.name
+    dst_keys = (instr.dst_key,)
+    latency = sfu_latency if opcode in _SFU_OPCODES else alu_latency
+    if opcode is Opcode.SELP:
+        read_a = _make_reader(instr.srcs[0], warp_size, params)
+        read_b = _make_reader(instr.srcs[1], warp_size, params)
+        pred_name = instr.srcs[2].name
+
+        def handler(sm, warp, dop, exec_mask, now):
+            a = read_a(warp)
+            b = read_b(warp)
+            pred = warp.regs.read_pred(pred_name)
+            result = np.where(pred, a, b)
+            warp.regs.write(dst_name, result, exec_mask)
+            warp.scoreboard.reserve(dst_keys, now + latency)
+            warp.stack.advance()
+
+        return handler
+
+    readers = tuple(
+        _make_reader(src, warp_size, params) for src in instr.srcs
+    )
+    try:
+        alu_op = _ALU_OPS[opcode]
+    except KeyError:
+        raise ValueError(f"not an ALU opcode: {opcode}") from None
+
+    def handler(sm, warp, dop, exec_mask, now):
+        result = wrap_i32(
+            np.asarray(alu_op([read(warp) for read in readers]),
+                       dtype=np.int64)
+        )
+        warp.regs.write(dst_name, result, exec_mask)
+        warp.scoreboard.reserve(dst_keys, now + latency)
+        warp.stack.advance()
+
+    return handler
+
+
+def _make_setp_handler(instr, warp_size, params, alu_latency):
+    read_a = _make_reader(instr.srcs[0], warp_size, params)
+    read_b = _make_reader(instr.srcs[1], warp_size, params)
+    cmp = instr.cmp
+    dst_name = instr.dst.name
+    dst_keys = (instr.dst_key,)
+
+    def handler(sm, warp, dop, exec_mask, now):
+        a = read_a(warp)
+        b = read_b(warp)
+        result = eval_cmp(cmp, a, b)
+        warp.regs.write_pred(dst_name, result, exec_mask)
+        warp.scoreboard.reserve(dst_keys, now + alu_latency)
+        # DDOS profiles one fixed thread per warp (the first live lane).
+        lane = warp.profiled_lane
+        ddos = sm.ddos
+        if ddos is not None and lane >= 0 and exec_mask[lane]:
+            ddos.on_setp(warp.warp_slot, instr, int(a[lane]), int(b[lane]),
+                         now)
+        warp.stack.advance()
+
+    return handler
+
+
+def _make_branch_handler(instr, program: Program):
+    target = instr.target_index
+    assert target is not None
+    guard_name = instr.guard.name if instr.guard is not None else None
+    negated = instr.guard_negated
+    rpc = (program.reconvergence_point(instr.index)
+           if instr.guard is not None else None)
+    wait_branch = instr.has_role("wait_branch")
+    is_backward = instr.is_backward_branch
+
+    def handler(sm, warp, dop, exec_mask, now):
+        active = warp.stack.active_mask
+        if guard_name is None:
+            taken_mask = active.copy()
+            warp.stack.uniform_jump(target)
+        else:
+            guard = warp.regs.read_pred(guard_name)
+            if negated:
+                guard = ~guard
+            taken_mask = np.logical_and(guard, active)
+            warp.stack.branch(guard, target, rpc)
+        n_taken = int(np.count_nonzero(taken_mask))
+        taken_any = n_taken > 0
+        n_not_taken = int(np.count_nonzero(active)) - n_taken
+
+        if wait_branch:
+            sm.stats.locks.wait_exit_fail += n_taken
+            sm.stats.locks.wait_exit_success += n_not_taken
+
+        if sm.ddos is not None and is_backward:
+            sm.ddos.on_backward_branch(warp.warp_slot, instr, taken_any, now)
+        if sm.cawa is not None:
+            sm.cawa.on_branch(warp, instr, taken_any)
+        # Re-query SIB status: the backward-branch hook above may have
+        # just trained DDOS past its confidence threshold (the reference
+        # path has the same read-after-train ordering).
+        if sm.bows is not None and taken_any and sm._is_sib(instr):
+            sm.bows.on_sib_executed(warp, now)
+
+    return handler
+
+
+def _make_exit_handler(instr):
+    index = instr.index
+
+    def handler(sm, warp, dop, exec_mask, now):
+        if exec_mask.any():
+            warp.stack.exit_lanes(exec_mask)
+            warp.refresh_profiled_lane()
+        if not warp.finished and warp.stack.pc == index:
+            # Guarded exit: surviving lanes continue past it.
+            warp.stack.advance()
+
+    return handler
+
+
+def _bar_handler(sm, warp, dop, exec_mask, now):
+    warp.stack.advance()
+    warp.at_barrier = True
+    sm.stats.barrier_waits += 1
+    sm._barrier_arrive(warp.cta_id, now=now, skip_slot=warp.warp_slot)
+
+
+def _membar_handler(sm, warp, dop, exec_mask, now):
+    warp.membar_until = max(now + 1, warp.last_store_completion)
+    warp.stack.advance()
+
+
+def _nop_handler(sm, warp, dop, exec_mask, now):
+    warp.stack.advance()
+
+
+def _make_clock_handler(instr, warp_size, alu_latency):
+    dst_name = instr.dst.name
+    dst_keys = (instr.dst_key,)
+
+    def handler(sm, warp, dop, exec_mask, now):
+        values = np.full(warp_size, now, dtype=np.int64)
+        warp.regs.write(dst_name, values, exec_mask)
+        warp.scoreboard.reserve(dst_keys, now + alu_latency)
+        warp.stack.advance()
+
+    return handler
+
+
+def _make_ld_param_handler(instr, warp_size, params, alu_latency):
+    value = params[instr.srcs[0].name]
+    values = _frozen(np.full(warp_size, value, dtype=np.int64))
+    dst_name = instr.dst.name
+    dst_keys = (instr.dst_key,)
+
+    def handler(sm, warp, dop, exec_mask, now):
+        warp.regs.write(dst_name, values, exec_mask)
+        warp.scoreboard.reserve(dst_keys, now + alu_latency)
+        warp.stack.advance()
+
+    return handler
+
+
+def _make_load_handler(instr, warp_size):
+    mem_op = instr.srcs[0]
+    base_name = mem_op.base.name
+    offset = np.int64(mem_op.offset)
+    dst_name = instr.dst.name
+    dst_keys = (instr.dst_key,)
+    bypass = instr.opcode is Opcode.LD_GLOBAL_CG
+    sync = instr.has_role("sync")
+
+    def handler(sm, warp, dop, exec_mask, now):
+        addrs = warp.regs.read(base_name) + offset
+        active_addrs = addrs[exec_mask]
+        values = np.zeros(warp_size, dtype=np.int64)
+        if active_addrs.size:
+            values[exec_mask] = sm.memory.read(active_addrs)
+        warp.regs.write(dst_name, values, exec_mask)
+        result = sm.memsys.load(sm.sm_id, active_addrs, now,
+                                bypass_l1=bypass, sync=sync)
+        warp.scoreboard.reserve(dst_keys, result.completion)
+        warp.stack.advance()
+
+    return handler
+
+
+def _make_store_handler(instr, warp_size, params):
+    mem_op = instr.dst
+    base_name = mem_op.base.name
+    offset = np.int64(mem_op.offset)
+    read_src = _make_reader(instr.srcs[0], warp_size, params)
+    sync = instr.has_role("sync")
+    lock_release = instr.has_role("lock_release")
+
+    def handler(sm, warp, dop, exec_mask, now):
+        addrs = warp.regs.read(base_name) + offset
+        values = read_src(warp)
+        active_addrs = addrs[exec_mask]
+        if active_addrs.size:
+            sm.memory.write(active_addrs, values[exec_mask])
+        result = sm.memsys.store(sm.sm_id, active_addrs, now, sync=sync)
+        warp.last_store_completion = max(
+            warp.last_store_completion, result.completion
+        )
+        if lock_release:
+            for addr in active_addrs:
+                sm.lock_table.pop(int(addr), None)
+        warp.stack.advance()
+
+    return handler
+
+
+def _make_atomic_handler(instr, warp_size, params):
+    mem_op = instr.srcs[0]
+    base_name = mem_op.base.name
+    offset = np.int64(mem_op.offset)
+    readers = tuple(
+        _make_reader(src, warp_size, params) for src in instr.srcs[1:]
+    )
+    op = instr.opcode
+    is_lock_try = instr.has_role("lock_try")
+    lock_release = instr.has_role("lock_release")
+    sync = instr.has_role("sync") or is_lock_try
+    dst_name = instr.dst.name if instr.dst is not None else None
+    dst_keys = (instr.dst_key,) if instr.dst_key is not None else ()
+
+    def handler(sm, warp, dop, exec_mask, now):
+        addrs = warp.regs.read(base_name) + offset
+        operands = [read(warp) for read in readers]
+        old_values = np.zeros(warp_size, dtype=np.int64)
+        warp_key = (warp.cta_id, warp.warp_in_cta)
+        magic = sm.config.magic_locks and is_lock_try
+        memory = sm.memory
+        for lane in np.nonzero(exec_mask)[0]:
+            addr = int(addrs[lane])
+            old = memory.read_word(addr)
+            if op is Opcode.ATOM_CAS:
+                compare = int(operands[0][lane])
+                new = int(operands[1][lane])
+                if magic:
+                    # Ideal-blocking proxy: every acquire succeeds at
+                    # once and the lock is never observed held.
+                    old = compare
+                elif old == compare:
+                    memory.write_word(addr, new)
+            elif op is Opcode.ATOM_EXCH:
+                memory.write_word(addr, int(operands[0][lane]))
+            elif op is Opcode.ATOM_ADD:
+                memory.write_word(addr, old + int(operands[0][lane]))
+            elif op is Opcode.ATOM_MIN:
+                memory.write_word(addr, min(old, int(operands[0][lane])))
+            elif op is Opcode.ATOM_MAX:
+                memory.write_word(addr, max(old, int(operands[0][lane])))
+            else:  # pragma: no cover - enum is exhaustive
+                raise ValueError(f"unhandled atomic {op}")
+            old_values[lane] = old
+
+            if is_lock_try and op is Opcode.ATOM_CAS:
+                sm._record_lock_attempt(
+                    addr, old == int(operands[0][lane]) or magic,
+                    warp, warp_key, int(lane),
+                )
+            if lock_release:
+                sm.lock_table.pop(addr, None)
+
+        if dst_name is not None:
+            warp.regs.write(dst_name, old_values, exec_mask)
+        result = sm.memsys.atomic(sm.sm_id, addrs[exec_mask], now, sync=sync)
+        if dst_keys:
+            warp.scoreboard.reserve(dst_keys, result.completion)
+        warp.stack.advance()
+        sm.stats.atomic_warp_instructions += 1
+
+    return handler
+
+
+def _decode_one(instr, program: Program, warp_size: int,
+                params: Dict[str, int], alu_latency: int, sfu_latency: int,
+                static_sibs) -> DecodedOp:
+    op = instr.opcode
+    if op is Opcode.BRA:
+        handler = _make_branch_handler(instr, program)
+    elif op is Opcode.EXIT:
+        handler = _make_exit_handler(instr)
+    elif op is Opcode.SETP:
+        handler = _make_setp_handler(instr, warp_size, params, alu_latency)
+    elif op is Opcode.BAR_SYNC:
+        handler = _bar_handler
+    elif op is Opcode.MEMBAR:
+        handler = _membar_handler
+    elif op is Opcode.CLOCK:
+        handler = _make_clock_handler(instr, warp_size, alu_latency)
+    elif op is Opcode.LD_PARAM:
+        handler = _make_ld_param_handler(instr, warp_size, params,
+                                         alu_latency)
+    elif op in (Opcode.LD_GLOBAL, Opcode.LD_GLOBAL_CG):
+        handler = _make_load_handler(instr, warp_size)
+    elif op is Opcode.ST_GLOBAL:
+        handler = _make_store_handler(instr, warp_size, params)
+    elif instr.is_atomic:
+        handler = _make_atomic_handler(instr, warp_size, params)
+    elif op is Opcode.NOP:
+        handler = _nop_handler
+    else:
+        handler = _make_alu_handler(instr, warp_size, params, alu_latency,
+                                    sfu_latency)
+    return DecodedOp(
+        instr, _make_mask_fn(instr), handler,
+        static_sib=instr.index in static_sibs,
+    )
+
+
+class DecodedProgram:
+    """A program decoded once for one (machine, params) combination."""
+
+    __slots__ = ("program", "ops")
+
+    def __init__(self, program: Program, warp_size: int,
+                 params: Dict[str, int], alu_latency: int,
+                 sfu_latency: int) -> None:
+        self.program = program
+        static_sibs = program.true_sibs()
+        self.ops: List[DecodedOp] = [
+            _decode_one(instr, program, warp_size, params, alu_latency,
+                        sfu_latency, static_sibs)
+            for instr in program.instructions
+        ]
+
+    def __getitem__(self, index: int) -> DecodedOp:
+        return self.ops[index]
+
+
+def decode_program(program: Program, config: GPUConfig,
+                   params: Dict[str, int]) -> DecodedProgram:
+    """Decode ``program`` once per (machine, params); cached on the program.
+
+    The cache key covers everything decoding bakes in: warp size, ALU/SFU
+    latencies, and the kernel parameters (``ld.param`` values are resolved
+    to constant lane vectors at decode time).
+    """
+    key = (
+        config.warp_size, config.alu_latency, config.sfu_latency,
+        tuple(sorted(params.items())),
+    )
+    cache = program.__dict__.setdefault("_decoded_cache", {})
+    decoded = cache.get(key)
+    if decoded is None:
+        decoded = DecodedProgram(
+            program, config.warp_size, params,
+            config.alu_latency, config.sfu_latency,
+        )
+        cache[key] = decoded
+    return decoded

@@ -37,7 +37,7 @@ from repro.sim.progress import (  # noqa: F401
     SimulationTimeout,
     build_hang_report,
 )
-from repro.sim.sm import SM, WarpKey
+from repro.sim.sm import ENGINES, SM, WarpKey
 
 
 @dataclass
@@ -82,11 +82,20 @@ class GPU:
 
     def __init__(self, config: GPUConfig,
                  memory: Optional[GlobalMemory] = None,
-                 tracer=None) -> None:
+                 tracer=None, engine: str = "fast") -> None:
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {ENGINES}"
+            )
         self.config = config
         self.memory = memory if memory is not None else GlobalMemory()
         #: Optional :class:`repro.sim.trace.Tracer` capturing issues.
         self.tracer = tracer
+        #: ``"fast"`` (pre-decoded, event-driven readiness — the default)
+        #: or ``"reference"`` (the seed per-cycle re-scan implementation).
+        #: Both produce bitwise-identical statistics; see
+        #: :mod:`repro.sim.sm`.
+        self.engine = engine
 
     def launch(self, launch: KernelLaunch) -> SimResult:
         """Run ``launch`` to completion and return statistics."""
@@ -105,6 +114,7 @@ class GPU:
                 lock_table=lock_table,
                 stats=stats,
                 tracer=self.tracer,
+                engine=self.engine,
             )
             for i in range(config.num_sms)
         ]
@@ -144,10 +154,14 @@ class GPU:
                 config, sms, self.memory, stats, tracer=self.tracer
             )
         now = 0
+        # Bound methods hoisted out of the cycle loop.
+        steps = [sm.step for sm in sms]
+        next_events = [sm.next_event for sm in sms]
+        occupancies = [sm.accumulate_occupancy for sm in sms]
         while True:
             issued = 0
-            for sm in sms:
-                issued += sm.step(now)
+            for step in steps:
+                issued += step(now)
             if next_cta < launch.grid_dim:
                 dispatch()  # refill any SM that freed CTA slots
             if next_cta >= launch.grid_dim and all(sm.idle for sm in sms):
@@ -172,8 +186,10 @@ class GPU:
             if issued:
                 next_now = now + 1
             else:
-                events = [sm.next_event(now) for sm in sms]
-                events = [e for e in events if e is not None]
+                events = [
+                    e for e in (ne(now) for ne in next_events)
+                    if e is not None
+                ]
                 if not events:
                     report = build_hang_report(
                         "deadlock", now, sms, memory=self.memory,
@@ -183,8 +199,8 @@ class GPU:
                     raise SimulationDeadlock(report.describe(), report)
                 next_now = min(events)
             dt = next_now - now
-            for sm in sms:
-                sm.accumulate_occupancy(dt)
+            for occupancy in occupancies:
+                occupancy(dt)
             now = next_now
 
         stats.cycles = now
@@ -199,11 +215,3 @@ class GPU:
             launch=launch,
             sms=sms,
         )
-
-    @staticmethod
-    def _deadlock_report(sms: List[SM], now: int) -> str:
-        """Legacy text renderer, now backed by :class:`HangReport`."""
-        return build_hang_report(
-            "deadlock", now, sms,
-            reason="no warp can ever become ready again",
-        ).describe()

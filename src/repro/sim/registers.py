@@ -17,12 +17,14 @@ _SIGN_BIT = np.int64(0x80000000)
 
 def wrap_i32(values: np.ndarray) -> np.ndarray:
     """Wrap int64 lane values to signed 32-bit two's complement."""
-    wrapped = np.bitwise_and(values.astype(np.int64), _INT32_MASK)
-    return np.where(
-        np.bitwise_and(wrapped, _SIGN_BIT) != 0,
-        wrapped - np.int64(1 << 32),
-        wrapped,
-    )
+    # Sign-extend bits 0..31: (v & MASK) is in [0, 2**32); XOR-ing the
+    # sign bit then subtracting it maps [2**31, 2**32) onto the negative
+    # range, bit-identical to the obvious where() formulation but with
+    # fewer temporaries.
+    wrapped = np.bitwise_and(values, _INT32_MASK)
+    np.bitwise_xor(wrapped, _SIGN_BIT, out=wrapped)
+    np.subtract(wrapped, _SIGN_BIT, out=wrapped)
+    return wrapped
 
 
 class RegisterFile:

@@ -17,10 +17,28 @@ BOWS arbitration (paper Figure 8) is layered on the base policy:
 DDOS hooks: ``setp`` executions update the issuing warp's path/value
 history (profiled thread = first active lane); backward branches consult
 and train the SIB-PT.
+
+Two engines share this class and produce bitwise-identical statistics:
+
+* ``engine="reference"`` (the default for directly-constructed SMs) —
+  the seed implementation: every scheduler re-scans all of its warps'
+  readiness each cycle and every issue re-reads operands through
+  :func:`repro.sim.executor.read_operand`.
+* ``engine="fast"`` (what :class:`repro.sim.gpu.GPU` uses by default) —
+  warps are pre-decoded once per program
+  (:func:`repro.sim.executor.decode_program`) and tracked in
+  per-scheduler ready sets plus a ready-event heap keyed by each warp's
+  next possible issue cycle, so idle warps cost no per-cycle host work.
+  A warp's readiness inputs (scoreboard, memory fence) only change when
+  the warp itself issues, so its cached ``_ready_from`` is refreshed
+  exactly there; barrier releases re-register freed warps immediately
+  so a warp freed by an earlier scheduler's issue can still issue from
+  a later scheduler in the same cycle, as in the reference engine.
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
@@ -34,6 +52,7 @@ from repro.memory.memsys import GlobalMemory, MemorySubsystem
 from repro.metrics.stats import SimStats
 from repro.sim.config import GPUConfig
 from repro.sim.executor import (
+    decode_program,
     effective_addresses,
     eval_alu,
     eval_cmp,
@@ -44,6 +63,14 @@ from repro.sim.warp import Warp
 
 #: Identifies a warp across the whole GPU for lock-holder tracking.
 WarpKey = Tuple[int, int]  # (cta_id, warp_in_cta)
+
+#: Valid values for the ``engine`` argument of :class:`SM` and
+#: :class:`repro.sim.gpu.GPU`.
+ENGINES = ("fast", "reference")
+
+
+def _noop_trace(cycle, warp, instr, active_lanes) -> None:
+    """Pre-bound sink used when no tracer is attached (hot path)."""
 
 
 class SM:
@@ -60,7 +87,12 @@ class SM:
         lock_table: Dict[int, Tuple[WarpKey, int]],
         stats: SimStats,
         tracer=None,
+        engine: str = "reference",
     ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {ENGINES}"
+            )
         self.tracer = tracer
         self.sm_id = sm_id
         self.config = config
@@ -102,6 +134,37 @@ class SM:
         self._static_sibs = program.true_sibs()
         self._last_charge = 0
 
+        self.engine = engine
+        self._fast = engine == "fast"
+        #: Pre-bound tracer sink: no per-issue branch on ``tracer``.
+        self._trace = tracer.record if tracer is not None else _noop_trace
+        if self._fast:
+            self._decoded_prog = decode_program(program, config, params)
+            #: Per-scheduler sets of slots ready to issue right now,
+            #: split by BOWS state so the reference loop's per-cycle
+            #: "normal" subset is available without recomputation.
+            self._ready_normal: List[Set[int]] = [
+                set() for _ in self.schedulers
+            ]
+            self._ready_backed: List[Set[int]] = [
+                set() for _ in self.schedulers
+            ]
+            #: (ready_from, slot) heap of warps waiting on a known cycle.
+            self._wait_heap: List[Tuple[int, int]] = []
+            #: slot -> its live heap key (guards against stale entries).
+            self._waiting: Dict[int, int] = {}
+            self._sched_of = [
+                slot % n_sched for slot in range(config.max_warps_per_sm)
+            ]
+            #: O(1) occupancy counters mirrored from the warp states.
+            self._n_live = 0
+            self._n_backed = 0
+            for scheduler in self.schedulers:
+                scheduler.enable_order_cache()
+            # Skip the per-SM dispatch wrapper frames on the hot path.
+            self.step = self._step_fast
+            self.next_event = self._next_event_fast
+
     # ------------------------------------------------------------------
     # CTA residency
 
@@ -130,6 +193,15 @@ class SM:
             )
             if self.bows is not None:
                 self.bows.on_warp_reset(slot)
+            if self._fast:
+                # Fresh warps are always immediately issuable (empty
+                # scoreboard, no fence): straight to the ready set.
+                warp = self.warps[slot]
+                self._refresh(warp)
+                self._ready_normal[self._sched_of[slot]].add(slot)
+                self._n_live += 1
+        for scheduler in self.schedulers:
+            scheduler.invalidate_order()
 
     @property
     def resident_ctas(self) -> int:
@@ -144,6 +216,8 @@ class SM:
 
     def step(self, now: int) -> int:
         """Let every scheduler try to issue; returns instructions issued."""
+        if self._fast:
+            return self._step_fast(now)
         if self.cawa is not None:
             self._charge_cawa(now)
         issued = 0
@@ -179,6 +253,101 @@ class SM:
                 self._retire_if_cta_done(warp.cta_id)
         return issued
 
+    def _step_fast(self, now: int) -> int:
+        """Fast-engine :meth:`step`: O(schedulers + ready warps) per cycle.
+
+        Semantics are identical to the reference loop; only the ready-set
+        computation differs — instead of re-scanning every warp, warps
+        whose wake-up cycle arrived are drained from the wait heap into
+        their scheduler's ready set, and issuing warps are re-registered
+        with a freshly cached ``_ready_from``.
+        """
+        if self.cawa is not None:
+            self._charge_cawa(now)
+        heap = self._wait_heap
+        waiting = self._waiting
+        warps = self.warps
+        while heap and heap[0][0] <= now:
+            t, slot = heappop(heap)
+            if waiting.get(slot) == t:
+                del waiting[slot]
+                sets = (
+                    self._ready_backed
+                    if warps[slot].backed_off else self._ready_normal
+                )
+                sets[self._sched_of[slot]].add(slot)
+        issued = 0
+        stats = self.stats
+        bows = self.bows
+        for i, scheduler in enumerate(self.schedulers):
+            stats.issue_slots += 1
+            normal = self._ready_normal[i]
+            backed = self._ready_backed[i]
+            if not normal and not backed:
+                continue
+            slot = scheduler.select(normal, warps, now)
+            if slot is not None:
+                normal.discard(slot)
+            elif bows is not None:
+                slot = bows.select_backed_off(backed, now, warps)
+                if slot is None:
+                    continue
+                backed.discard(slot)
+            else:
+                continue
+            warp = warps[slot]
+            was_backed = warp.backed_off
+            self._issue_fast(warp, now)
+            if warp.backed_off != was_backed:
+                self._n_backed += 1 if warp.backed_off else -1
+            scheduler.notify_issue(slot, now)
+            stats.issued_slots += 1
+            issued += 1
+            if warp.finished:
+                self._n_live -= 1
+                # A finished warp never blocks its CTA's barrier: its
+                # exit may release warp-mates already waiting there.
+                self._barrier_arrive(warp.cta_id, now=now, skip_slot=slot)
+                self._retire_if_cta_done(warp.cta_id)
+            else:
+                self._refresh(warp)
+                if not warp.at_barrier:
+                    self._register(warp, now)
+        return issued
+
+    def _refresh(self, warp: Warp) -> None:
+        """Re-cache the warp's decoded op and earliest issue cycle.
+
+        Called after every issue by ``warp`` (and at launch) — the only
+        points where its PC, scoreboard, or memory fence can change.
+        """
+        dop = self._decoded_prog.ops[warp.stack.pc]
+        warp._decoded = dop
+        pending = warp.scoreboard._pending
+        sb_max = 0
+        if pending:
+            for key in dop.hazard_keys:
+                release = pending.get(key)
+                if release is not None and release > sb_max:
+                    sb_max = release
+        warp._sb_max = sb_max
+        membar = warp.membar_until
+        warp._ready_from = membar if membar > sb_max else sb_max
+
+    def _register(self, warp: Warp, now: int) -> None:
+        """File the warp under ready-now or the wait heap."""
+        t = warp._ready_from
+        slot = warp.warp_slot
+        if t <= now:
+            sets = (
+                self._ready_backed if warp.backed_off
+                else self._ready_normal
+            )
+            sets[self._sched_of[slot]].add(slot)
+        else:
+            heappush(self._wait_heap, (t, slot))
+            self._waiting[slot] = t
+
     def _ready(self, warp: Warp, now: int) -> bool:
         if warp.finished or warp.at_barrier:
             return False
@@ -189,6 +358,8 @@ class SM:
 
     def next_event(self, now: int) -> Optional[int]:
         """Earliest cycle after ``now`` when some warp may become ready."""
+        if self._fast:
+            return self._next_event_fast(now)
         best: Optional[int] = None
 
         def consider(t: Optional[int]) -> None:
@@ -216,8 +387,51 @@ class SM:
                 consider(now + 1)
         return best
 
+    def _next_event_fast(self, now: int) -> Optional[int]:
+        """Fast-engine :meth:`next_event` over the cached per-warp scalars.
+
+        Requires :meth:`_step_fast` to have drained the wait heap at
+        ``now`` (the GPU loop always steps before asking).  The ready
+        sets and the waiting map then partition exactly the warps the
+        reference scan would visit (non-finished, non-barrier), so no
+        per-warp state checks are needed:
+
+        * a ready non-backed-off warp contributes ``now + 1`` — the
+          smallest candidate any warp can contribute, so return it;
+        * a ready backed-off warp contributes its pending delay (or
+          ``now + 1`` once expired);
+        * a waiting warp replicates the reference chain's fence-first
+          quirk: ``membar_until`` if fenced — even when a scoreboard
+          release lands later — else the scoreboard release.  The heap
+          keys (``max`` of the two) must not be used here.
+        """
+        for ready in self._ready_normal:
+            if ready:
+                return now + 1
+        best: Optional[int] = None
+        warps = self.warps
+        for ready in self._ready_backed:
+            for slot in ready:
+                warp = warps[slot]
+                t = warp.pending_delay_until
+                if t <= now:
+                    return now + 1
+                if best is None or t < best:
+                    best = t
+        for slot in self._waiting:
+            warp = warps[slot]
+            membar = warp.membar_until
+            t = membar if membar > now else warp._sb_max
+            if best is None or t < best:
+                best = t
+        return best
+
     def accumulate_occupancy(self, dt: float) -> None:
         """Weight the current backed-off/live warp counts by ``dt`` cycles."""
+        if self._fast:
+            self.stats.resident_warp_cycles += dt * self._n_live
+            self.stats.backed_off_warp_cycles += dt * self._n_backed
+            return
         live = sum(1 for w in self.warps.values() if not w.finished)
         backed = sum(
             1 for w in self.warps.values()
@@ -296,6 +510,45 @@ class SM:
             warp.stack.advance()
         else:
             self._execute_alu(warp, instr, exec_mask, now)
+
+    def _issue_fast(self, warp: Warp, now: int) -> None:
+        """Fast-engine :meth:`_issue`: pre-decoded record, no dispatch.
+
+        Mirrors the reference prologue field for field, then jumps
+        straight to the op's specialized handler.
+        """
+        dop = warp._decoded
+        exec_mask = dop.mask_fn(warp)
+        n_exec = int(np.count_nonzero(exec_mask))
+        ddos = self.ddos
+        if dop.is_branch:
+            if ddos is not None:
+                is_sib = ddos.is_sib(dop.index)
+            else:
+                is_sib = dop.static_sib if self.bows is not None else False
+        else:
+            is_sib = False
+        self._trace(now, warp, dop.instr, n_exec)
+
+        stats = self.stats
+        stats.warp_instructions += 1
+        stats.thread_instructions += n_exec
+        stats.active_lane_sum += n_exec
+        if dop.is_sync:
+            stats.sync_thread_instructions += n_exec
+        else:
+            stats.useful_thread_instructions += n_exec
+        if is_sib:
+            stats.sib_warp_instructions += 1
+            stats.sib_thread_instructions += n_exec
+        warp.issued_instructions += 1
+        warp.thread_instructions += n_exec
+        if self.cawa is not None:
+            self.cawa.on_issue(warp, dop.instr, now)
+        if self.bows is not None:
+            self.bows.on_issue(warp, now, is_sib, is_store=dop.is_store)
+
+        dop.handler(self, warp, dop, exec_mask, now)
 
     # -- straight-line ops ---------------------------------------------
 
@@ -510,7 +763,8 @@ class SM:
             return instr.index in self._static_sibs
         return False
 
-    def _barrier_arrive(self, cta_id: int) -> None:
+    def _barrier_arrive(self, cta_id: int, now: Optional[int] = None,
+                        skip_slot: Optional[int] = None) -> None:
         slots = self._cta_slots.get(cta_id, [])
         waiting = [
             self.warps[s] for s in slots if not self.warps[s].finished
@@ -518,6 +772,13 @@ class SM:
         if waiting and all(w.at_barrier for w in waiting):
             for w in waiting:
                 w.at_barrier = False
+                # Fast engine: released warps become schedulable at once,
+                # so a warp freed by an earlier scheduler's issue can
+                # still issue from a later scheduler this same cycle.
+                # The issuing warp itself (``skip_slot``) is registered
+                # by the post-issue code in ``_step_fast``.
+                if self._fast and w.warp_slot != skip_slot:
+                    self._register(w, now)
 
     def _retire_if_cta_done(self, cta_id: int) -> None:
         slots = self._cta_slots.get(cta_id)
@@ -533,12 +794,22 @@ class SM:
             del self._cta_slots[cta_id]
             self._free_slots.extend(slots)
             self._free_slots.sort()
+            for scheduler in self.schedulers:
+                scheduler.invalidate_order()
 
     def _charge_cawa(self, now: int) -> None:
         dt = now - self._last_charge
         if dt <= 0:
             return
         self._last_charge = now
+        if self._fast:
+            for warp in self.warps.values():
+                if warp.finished:
+                    continue
+                warp.cawa_cycles += dt
+                if warp.at_barrier or warp._ready_from > now:
+                    warp.cawa_nstall += dt
+            return
         for warp in self.warps.values():
             if warp.finished:
                 continue

@@ -92,6 +92,19 @@ class Warp:
         self.issued_instructions = 0
         self.thread_instructions = 0
 
+        # Fast-engine cache (repro.sim.sm, engine="fast").  Refreshed by
+        # the SM after each of this warp's issues — the only time its
+        # readiness inputs can change:
+        #   _decoded    — DecodedOp for the current PC;
+        #   _sb_max     — max pending scoreboard release over the current
+        #                 instruction's hazard keys (0 = none pending);
+        #   _ready_from — first cycle the warp can issue,
+        #                 max(membar_until, _sb_max).
+        # The reference engine ignores all three.
+        self._decoded = None
+        self._sb_max = 0
+        self._ready_from = 0
+
     # ------------------------------------------------------------------
 
     @property

@@ -132,10 +132,10 @@ def test_run_validation_failure_exits_4(capsys, monkeypatch):
     import repro.cli as cli
     from repro.kernels import WorkloadError
 
-    def rigged(workload, config):
+    def rigged(workload, **kwargs):
         raise WorkloadError("answers differ")
 
-    monkeypatch.setattr(cli, "run_workload", rigged)
+    monkeypatch.setattr(cli, "simulate", rigged)
     code = main(["run", "vecadd", "--param", "n_threads=64",
                  "--param", "block_dim=32"])
     assert code == EXIT_VALIDATION
@@ -145,10 +145,10 @@ def test_run_validation_failure_exits_4(capsys, monkeypatch):
 def test_run_transient_error_exits_5(capsys, monkeypatch):
     import repro.cli as cli
 
-    def flaky(workload, config):
+    def flaky(workload, **kwargs):
         raise OSError("worker vanished")
 
-    monkeypatch.setattr(cli, "run_workload", flaky)
+    monkeypatch.setattr(cli, "simulate", flaky)
     code = main(["run", "vecadd", "--param", "n_threads=64",
                  "--param", "block_dim=32"])
     assert code == EXIT_TRANSIENT

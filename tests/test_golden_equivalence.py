@@ -1,0 +1,91 @@
+"""Golden determinism: the fast engine is bitwise-identical to the seed.
+
+The fast engine (pre-decoded instructions, ready-event heap, hoisted
+tracer/stats branches — see :mod:`repro.sim.sm`) is a pure performance
+transformation: for every workload and configuration it must visit the
+same cycles, issue the same instructions, and land on the same final
+state as the reference engine it replaced.  These tests run each
+configuration once per engine and diff the **full**
+``SimStats.summary()`` dict — cycles, instruction counts, SIMD
+efficiency, lock outcomes, memory transactions, energy — plus the
+validated memory image (``validate=True``).
+
+The matrix deliberately crosses the features whose interaction the fast
+engine had to re-derive: all three base schedulers, fixed and adaptive
+BOWS back-off, DDOS on/off, schedule perturbation (seeded RNG draw
+order is part of the contract), and both sync and sync-free kernels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import simulate
+from repro.sim.config import GPUConfig, PerturbConfig
+
+#: Small-but-representative workload shapes (a run stays well under a
+#: second so the whole matrix fits in the tier-1 budget).
+PARAMS = {
+    "ht": dict(n_threads=128, n_buckets=8, items_per_thread=1,
+               block_dim=64),
+    "nw1": dict(n_threads=128, n_cols=32, cell_work=4, block_dim=64),
+    "atm": dict(n_threads=128, n_accounts=16, rounds=1, block_dim=64),
+    "reduction": dict(n_threads=128, block_dim=64),
+}
+
+CONFIGS = [
+    pytest.param("ht", {"scheduler": "gto"}, id="ht-gto"),
+    pytest.param("ht", {"scheduler": "lrr"}, id="ht-lrr"),
+    pytest.param("ht", {"scheduler": "cawa"}, id="ht-cawa"),
+    pytest.param("ht", {"scheduler": "gto", "bows": "adaptive"},
+                 id="ht-bows-adaptive"),
+    pytest.param("ht", {"scheduler": "gto", "bows": 1000},
+                 id="ht-bows-fixed"),
+    pytest.param("ht", {"scheduler": "gto", "ddos": False},
+                 id="ht-static-sibs"),
+    pytest.param("nw1", {"scheduler": "gto"}, id="nw1-gto"),
+    pytest.param("nw1", {"scheduler": "gto", "bows": "adaptive"},
+                 id="nw1-bows-adaptive"),
+    pytest.param("atm", {"scheduler": "gto"}, id="atm-gto"),
+    pytest.param("atm", {"scheduler": "gto", "bows": "adaptive"},
+                 id="atm-bows-adaptive"),
+    pytest.param("reduction", {"scheduler": "gto"}, id="reduction-gto"),
+]
+
+
+def _run(kernel: str, config: GPUConfig, engine: str):
+    return simulate(kernel, config=config, params=PARAMS[kernel],
+                    engine=engine)
+
+
+@pytest.mark.parametrize("kernel, preset_kwargs", CONFIGS)
+def test_engines_bitwise_identical(kernel, preset_kwargs):
+    config = GPUConfig.preset("fermi", **preset_kwargs)
+    reference = _run(kernel, config, "reference")
+    fast = _run(kernel, config, "fast")
+    assert fast.stats.summary() == reference.stats.summary()
+    assert fast.cycles == reference.cycles
+    assert sorted(fast.predicted_sibs()) == sorted(
+        reference.predicted_sibs())
+
+
+def test_engines_identical_under_perturbation():
+    """Seeded schedule perturbation draws its RNG in the same order on
+    both engines — any divergence in draw order shows up as different
+    cycle counts immediately."""
+    for seed in (0, 7):
+        config = GPUConfig.preset("fermi", scheduler="gto").replace(
+            perturb=PerturbConfig(seed=seed, sched_jitter=0.2,
+                                  mem_jitter_cycles=8,
+                                  rotation_period=101),
+        )
+        reference = _run("ht", config, "reference")
+        fast = _run("ht", config, "fast")
+        assert fast.stats.summary() == reference.stats.summary(), seed
+
+
+def test_engines_identical_on_pascal_preset():
+    config = GPUConfig.preset("pascal", scheduler="gto", bows="adaptive")
+    reference = _run("ht", config, "reference")
+    fast = _run("ht", config, "fast")
+    assert fast.stats.summary() == reference.stats.summary()

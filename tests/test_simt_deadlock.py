@@ -138,6 +138,7 @@ def test_deadlock_report_format():
     from repro.isa import assemble
     from repro.metrics.stats import SimStats
     from repro.sim.config import fermi_config
+    from repro.sim.progress import build_hang_report
     from repro.sim.sm import SM
     from repro.memory.memsys import GlobalMemory, MemorySubsystem
 
@@ -148,7 +149,10 @@ def test_deadlock_report_format():
             SimStats())
     sm.launch_cta(cta_id=0, warps_per_cta=1, cta_dim=32, grid_dim=1,
                   age_base=0)
-    report = GPU._deadlock_report([sm], now=123)
+    report = build_hang_report(
+        "deadlock", 123, [sm],
+        reason="no warp can ever become ready again",
+    ).describe()
     assert "cycle 123" in report
     assert "SM0" in report
     assert "SIMT-induced deadlock" in report

@@ -1,0 +1,46 @@
+"""The ``SimStats.summary()`` reporting schema is frozen and versioned.
+
+Downstream artifacts — lab result caches, sweep manifests,
+``BENCH_hotloop.json``, the plotting pipeline — key on summary dicts.
+This suite pins the exact key set (and order) to ``SUMMARY_KEYS`` and
+the embedded ``schema_version`` to ``SUMMARY_SCHEMA_VERSION``: changing
+either without bumping the version is a contract break this test makes
+loud.
+"""
+
+from __future__ import annotations
+
+from repro.api import simulate
+from repro.metrics.stats import (SUMMARY_KEYS, SUMMARY_SCHEMA_VERSION,
+                                 SimStats)
+from repro.sim.config import GPUConfig
+
+
+def test_summary_keys_are_frozen():
+    summary = SimStats().summary()
+    assert tuple(summary.keys()) == SUMMARY_KEYS
+
+
+def test_summary_embeds_schema_version():
+    assert SimStats().summary()["schema_version"] == SUMMARY_SCHEMA_VERSION
+    assert SUMMARY_SCHEMA_VERSION == 1
+
+
+def test_real_run_summary_matches_schema():
+    result = simulate(
+        "vecadd",
+        config=GPUConfig.preset("fermi"),
+        params=dict(n_threads=64, per_thread=2, block_dim=64),
+    )
+    summary = result.stats.summary()
+    assert tuple(summary.keys()) == SUMMARY_KEYS
+    assert summary["schema_version"] == SUMMARY_SCHEMA_VERSION
+    assert summary["cycles"] > 0
+
+
+def test_summary_values_are_json_plain():
+    """Every summary value must serialize as-is (no numpy scalars)."""
+    import json
+
+    summary = SimStats().summary()
+    assert json.loads(json.dumps(summary)) == summary
