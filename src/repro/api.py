@@ -75,6 +75,7 @@ def simulate(
     watchdog: WatchdogSpec = None,
     engine: str = "fast",
     validate: bool = True,
+    obs=None,
 ) -> SimResult:
     """Simulate ``target`` and return its :class:`SimResult`.
 
@@ -100,6 +101,12 @@ def simulate(
         validate: for workload targets, run the workload's functional
             validation after simulation (skipped under ``magic_locks``,
             whose results are intentionally not meaningful).
+        obs: observability collection — ``True`` for the defaults, an
+            :class:`repro.obs.ObsConfig` to tune, or a prepared
+            :class:`repro.obs.Observability`.  The collected event bus
+            and time series come back on ``result.obs``; collection
+            never changes simulated behavior (statistics stay bitwise
+            identical).
 
     Returns:
         The :class:`SimResult`, whose ``stats.summary()`` is the stable
@@ -131,7 +138,7 @@ def simulate(
             )
         workload.consumed = True
         gpu = GPU(config, memory=workload.memory, tracer=tracer,
-                  engine=engine)
+                  engine=engine, obs=obs)
         result = gpu.launch(workload.launch)
         if validate and not config.magic_locks:
             workload.validate(result.memory)
@@ -153,5 +160,5 @@ def simulate(
     if not isinstance(target, KernelLaunch):
         raise TypeError(f"cannot simulate target {target!r}")
 
-    gpu = GPU(config, memory=memory, tracer=tracer, engine=engine)
+    gpu = GPU(config, memory=memory, tracer=tracer, engine=engine, obs=obs)
     return gpu.launch(target)

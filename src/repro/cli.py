@@ -9,6 +9,8 @@ Usage::
     python -m repro run ht --scheduler gto --bows adaptive
     python -m repro run ht --param n_buckets=8 --param n_threads=512
     python -m repro run atm --watchdog 100000 --progress-epoch 5000
+    python -m repro profile ht --bows adaptive --json profile.json
+    python -m repro profile ht --quick --trace trace.json
     python -m repro fuzz ht --seeds 16 --budget-cycles 50000
     python -m repro bench --out BENCH_hotloop.json --min-speedup 2.0
     python -m repro sweep --kernel ht --kernel tsp --bows none,1000,adaptive
@@ -264,6 +266,76 @@ def _cmd_run(args) -> int:
     return EXIT_OK
 
 
+def _cmd_profile(args) -> int:
+    """Run one kernel with full observability and emit a profile report."""
+    from repro.obs import ObsConfig, Observability
+    from repro.obs.profile import build_profile
+    from repro.sim.trace import Tracer
+
+    bows: object = None
+    if args.bows == "adaptive":
+        bows = True
+    elif args.bows is not None:
+        bows = int(args.bows)
+    config = GPUConfig.preset(
+        args.preset,
+        scheduler=args.scheduler,
+        bows=bows,
+        ddos=None if not args.no_ddos else False,
+    )
+    overrides = _watchdog_overrides(args)
+    if overrides:
+        config = config.replace(**overrides)
+    params = _parse_params(args.param)
+    if args.quick and not params:
+        from repro.harness.params import QUICK_PARAMS
+
+        params = dict(QUICK_PARAMS.get(args.kernel, {}))
+    workload = build_workload(args.kernel, **params)
+    obs = Observability(ObsConfig(
+        event_capacity=args.event_capacity,
+        sample_interval=args.sample_interval,
+    ))
+    tracer = Tracer(capacity=args.trace_capacity)
+    start = time.time()
+    try:
+        result = simulate(workload, config=config, engine=args.engine,
+                          tracer=tracer, obs=obs)
+    except SimulationHang as exc:
+        print(f"kernel {args.kernel}: HANG ({type(exc).__name__})")
+        print(exc.args[0] if exc.args else str(exc))
+        return EXIT_HANG
+    except WorkloadError as exc:
+        print(f"kernel {args.kernel}: VALIDATION FAILED")
+        print(str(exc))
+        return EXIT_VALIDATION
+    except (OSError, RunTimeout, TransientRunError) as exc:
+        print(f"kernel {args.kernel}: transient error "
+              f"({type(exc).__name__}): {exc}")
+        return EXIT_TRANSIENT
+    elapsed = time.time() - start
+    report = build_profile(result, tracer, workload=args.kernel,
+                           scheduler=args.scheduler, engine=args.engine)
+    text = report.to_markdown()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"[profile report written to {args.out}]")
+    else:
+        print(text)
+    if args.json:
+        report.to_json(args.json)
+        print(f"[profile JSON written to {args.json}]")
+    if args.trace:
+        written = tracer.export_chrome_trace(args.trace, counters=obs.series)
+        print(f"[chrome trace ({written} issue events + counter tracks) "
+              f"written to {args.trace}]")
+    print(f"\n[{args.kernel} profiled in {elapsed:.1f}s: "
+          f"{result.cycles} cycles, {obs.bus.total_events} events, "
+          f"{len(obs.series.rows) if obs.series else 0} sample intervals]")
+    return EXIT_OK
+
+
 def _cmd_fuzz(args) -> int:
     from repro.fuzz import ScheduleFuzzer
 
@@ -423,6 +495,44 @@ def main(argv: Optional[List[str]] = None) -> int:
                           "'reference' is the seed implementation)")
     _add_watchdog_options(run)
 
+    prof = sub.add_parser(
+        "profile",
+        help="simulate one kernel with full observability and report "
+             "hot spots, back-off timelines, and DDOS decisions",
+    )
+    prof.add_argument("kernel", choices=kernel_names())
+    prof.add_argument("--scheduler", choices=("lrr", "gto", "cawa"),
+                      default="gto")
+    prof.add_argument("--bows", default=None,
+                      help="'adaptive' or a fixed delay limit in cycles")
+    prof.add_argument("--no-ddos", action="store_true",
+                      help="use static !sib annotations instead of DDOS")
+    prof.add_argument("--preset", choices=("fermi", "pascal"),
+                      default="fermi")
+    prof.add_argument("--param", action="append", default=[],
+                      metavar="NAME=VALUE",
+                      help="workload parameter override (repeatable)")
+    prof.add_argument("--engine", choices=("fast", "reference"),
+                      default="fast")
+    prof.add_argument("--quick", action="store_true",
+                      help="use the quick-scale harness parameters "
+                           "(CI smoke size)")
+    prof.add_argument("--sample-interval", type=int, default=500,
+                      help="cycles between time-series samples")
+    prof.add_argument("--event-capacity", type=int, default=200_000,
+                      help="event ring-log capacity")
+    prof.add_argument("--trace-capacity", type=int, default=200_000,
+                      help="issue-tracer ring-buffer capacity")
+    prof.add_argument("--out", default=None, metavar="PATH",
+                      help="write the markdown report to PATH "
+                           "(default: stdout)")
+    prof.add_argument("--json", default=None, metavar="PATH",
+                      help="write the profile JSON to PATH")
+    prof.add_argument("--trace", default=None, metavar="PATH",
+                      help="write Chrome trace JSON (issue timeline + "
+                           "sampled counter tracks) to PATH")
+    _add_watchdog_options(prof)
+
     bench = sub.add_parser(
         "bench",
         help="measure fast-engine speedup on the fixed kernel matrix",
@@ -489,6 +599,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_experiment(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
     if args.command == "bench":

@@ -93,6 +93,11 @@ class AdaptiveDelayController:
         #: for inspection/plotting (see examples/adaptive_trace.py).
         self.history: list = []
 
+    @property
+    def direction(self) -> int:
+        """Current hill-climb search direction (+1 raising, -1 lowering)."""
+        return self._direction
+
     def end_window(self, total_instructions: int, sib_instructions: int,
                    elapsed_cycles: int = 0,
                    store_instructions: int = 0) -> int:

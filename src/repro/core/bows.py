@@ -23,6 +23,8 @@ from collections import deque
 from typing import Deque, Iterable, Optional, Set
 
 from repro.core.adaptive import AdaptiveDelayController
+from repro.obs.bus import null_emitter
+from repro.obs.events import AdaptiveDelayUpdate, BackoffEnter, BackoffExit
 from repro.sim.config import BOWSConfig
 from repro.sim.warp import Warp
 
@@ -30,8 +32,19 @@ from repro.sim.warp import Warp
 class BOWSUnit:
     """Backed-off queue, pending delays, and window accounting for one SM."""
 
-    def __init__(self, config: BOWSConfig) -> None:
+    def __init__(self, config: BOWSConfig, sm_id: int = 0, bus=None) -> None:
         self.config = config
+        self.sm_id = sm_id
+        # Pre-bound event sinks (repro.obs); all three fire only on cold
+        # branches (state transitions / window ends), never per issue.
+        if bus is not None:
+            self._emit_enter = bus.emitter(BackoffEnter)
+            self._emit_exit = bus.emitter(BackoffExit)
+            self._emit_delay = bus.emitter(AdaptiveDelayUpdate)
+        else:
+            self._emit_enter = null_emitter
+            self._emit_exit = null_emitter
+            self._emit_delay = null_emitter
         self._queue: Deque[int] = deque()
         self._queued: Set[int] = set()
         self._controller: Optional[AdaptiveDelayController] = (
@@ -73,6 +86,10 @@ class BOWSUnit:
         if warp.warp_slot not in self._queued:
             self._queue.append(warp.warp_slot)
             self._queued.add(warp.warp_slot)
+            self._emit_enter(
+                cycle=now, sm_id=self.sm_id,
+                warp_slot=warp.warp_slot, cta_id=warp.cta_id,
+            )
 
     def on_issue(self, warp: Warp, now: int, is_sib: bool,
                  is_store: bool = False) -> None:
@@ -84,8 +101,10 @@ class BOWSUnit:
             self._window_stores += 1
         if self._controller is not None and now >= self._window_end:
             elapsed = max(now - self._window_start, 1)
+            window_total = self._window_total
+            window_sib = self._window_sib
             self._controller.end_window(
-                self._window_total, self._window_sib, elapsed,
+                window_total, window_sib, elapsed,
                 self._window_stores,
             )
             self._window_total = 0
@@ -93,12 +112,23 @@ class BOWSUnit:
             self._window_stores = 0
             self._window_start = now
             self._window_end = now + self.config.window
+            self._emit_delay(
+                cycle=now, sm_id=self.sm_id,
+                delay_limit=self._controller.delay_limit,
+                window_total=window_total, window_sib=window_sib,
+                direction=self._controller.direction,
+            )
         if warp.backed_off:
             # Exiting the backed-off state: normal priority is restored
             # and the pending back-off delay starts counting down.
             warp.backed_off = False
             warp.pending_delay_until = now + self.delay_limit
             self._discard(warp.warp_slot)
+            self._emit_exit(
+                cycle=now, sm_id=self.sm_id,
+                warp_slot=warp.warp_slot, cta_id=warp.cta_id,
+                delay_until=warp.pending_delay_until,
+            )
 
     def on_warp_reset(self, warp_slot: int) -> None:
         """Warp slot reused by a new CTA: forget its backed-off state."""

@@ -32,6 +32,8 @@ from typing import Deque, Dict, Optional, Set, Tuple
 
 from repro.isa.instructions import Instruction
 from repro.isa.program import Program
+from repro.obs.bus import null_emitter
+from repro.obs.events import SIBCleared, SIBDetected
 from repro.sim.config import DDOSConfig
 
 
@@ -97,9 +99,18 @@ class DDOSEngine:
     """Per-SM DDOS unit: warp histories plus the shared SIB-PT."""
 
     def __init__(self, config: DDOSConfig, program: Program,
-                 n_warp_slots: int) -> None:
+                 n_warp_slots: int, sm_id: int = 0, bus=None) -> None:
         self.config = config
         self.program = program
+        self.sm_id = sm_id
+        # Pre-bound event sinks (repro.obs): no per-decision branch on
+        # "is observability attached?" — the disabled path is a no-op.
+        if bus is not None:
+            self._emit_detected = bus.emitter(SIBDetected)
+            self._emit_cleared = bus.emitter(SIBCleared)
+        else:
+            self._emit_detected = null_emitter
+            self._emit_cleared = null_emitter
         self._hash = _HASHES[config.hashing]
         self._histories: Dict[int, _WarpHistory] = {
             slot: _WarpHistory(deque(maxlen=config.history_length))
@@ -146,6 +157,13 @@ class DDOSEngine:
             if entry is None:
                 return
             entry.confidence += 1
+            if entry.confidence == self.config.confidence_threshold:
+                # Crossed the prediction threshold from below: the
+                # branch is now predicted spin-inducing.
+                self._emit_detected(
+                    cycle=now, sm_id=self.sm_id, branch=instr.index,
+                    confidence=entry.confidence,
+                )
             if (
                 entry.confidence >= self.config.confidence_threshold
                 and entry.confirmed_at is None
@@ -156,6 +174,12 @@ class DDOSEngine:
             entry = self.sib_pt.get(instr.index)
             if entry is not None and entry.confidence > 0:
                 entry.confidence -= 1
+                if entry.confidence == self.config.confidence_threshold - 1:
+                    # Fell below the threshold: prediction turned off
+                    # (the aliasing guard drained it).
+                    self._emit_cleared(
+                        cycle=now, sm_id=self.sm_id, branch=instr.index,
+                    )
 
     # ------------------------------------------------------------------
     # Queries

@@ -56,6 +56,10 @@ class RunResult:
     #: Per-phase wall-clock breakdown of ``elapsed_s`` (``build_s``,
     #: ``simulate_s``, ``score_s``) when the run executed in-process.
     phases: Optional[Dict[str, float]] = None
+    #: Observability payload (:meth:`repro.obs.Observability.to_dict`)
+    #: when the spec requested collection: event counts + bounded log,
+    #: sampled time series.
+    obs: Optional[Dict[str, Any]] = None
     attempts: int = 1
     from_cache: bool = False
     label: Optional[str] = None
@@ -71,6 +75,7 @@ class RunResult:
             "ddos": self.ddos,
             "elapsed_s": self.elapsed_s,
             "phases": self.phases,
+            "obs": self.obs,
         }
 
     @classmethod
@@ -83,6 +88,7 @@ class RunResult:
             ddos=data.get("ddos"),
             elapsed_s=data.get("elapsed_s", 0.0),
             phases=data.get("phases"),
+            obs=data.get("obs"),
         )
 
 

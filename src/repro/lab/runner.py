@@ -73,11 +73,16 @@ def execute_run(spec: RunSpec) -> RunResult:
     from repro.api import simulate
     from repro.kernels import build as build_workload
 
+    obs = None
+    if spec.obs is not None:
+        from repro.obs import Observability
+        obs = Observability(spec.obs)
+
     start = time.perf_counter()
     workload = build_workload(spec.kernel, **spec.build_params())
     built = time.perf_counter()
     sim = simulate(workload, config=spec.config, validate=spec.validate,
-                   engine=spec.engine)
+                   engine=spec.engine, obs=obs)
     simulated = time.perf_counter()
 
     ddos_outcome = None
@@ -98,6 +103,10 @@ def execute_run(spec: RunSpec) -> RunResult:
             "simulate_s": simulated - built,
             "score_s": end - simulated,
         },
+        # Bounded event log: results travel through pickles and the
+        # on-disk cache, so cap the embedded raw log (counts and the
+        # time series are complete either way).
+        obs=obs.to_dict(max_events=2_000) if obs is not None else None,
         label=spec.label,
     )
 
@@ -176,14 +185,25 @@ class BatchReport:
         rows = []
         for r in self.results:
             if r.ok:
-                rows.append({
+                row = {
                     "label": r.label,
                     "spec_hash": r.spec_hash,
                     "status": "cached" if r.from_cache else "ok",
                     "cycles": r.cycles,
                     "attempts": r.attempts,
                     "elapsed_s": round(r.elapsed_s, 3),
-                })
+                }
+                if r.obs is not None:
+                    # Headline observability numbers; the full payload
+                    # stays on the RunResult itself.
+                    events = r.obs.get("events", {})
+                    series = r.obs.get("series") or {}
+                    row["obs"] = {
+                        "event_total": events.get("total", 0),
+                        "event_dropped": events.get("dropped", 0),
+                        "series_rows": len(series.get("rows", [])),
+                    }
+                rows.append(row)
             else:
                 row = {
                     "label": r.spec.label if r.spec else None,

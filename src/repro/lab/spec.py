@@ -20,6 +20,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
+from repro.obs import ObsConfig
 from repro.sim.config import (BOWSConfig, CacheConfig, DDOSConfig, GPUConfig,
                               PerturbConfig)
 
@@ -72,6 +73,11 @@ class RunSpec:
     #: must say which engine actually produced them so equivalence can be
     #: *checked* (the benchmark harness runs both and diffs).
     engine: str = "fast"
+    #: Observability collection for this run (:class:`repro.obs.ObsConfig`).
+    #: Collection never changes the simulation outcome, but it changes
+    #: what the cached :class:`~repro.lab.results.RunResult` carries, so
+    #: a set ``obs`` IS part of the hash (None keeps pre-obs hashes).
+    obs: Optional[ObsConfig] = None
     #: Display name for progress/manifests; NOT part of the hash.
     label: Optional[str] = None
 
@@ -83,7 +89,7 @@ class RunSpec:
         return params
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "kernel": self.kernel,
             "config": config_to_dict(self.config),
             "params": dict(self.params),
@@ -91,6 +97,10 @@ class RunSpec:
             "validate": self.validate,
             "engine": self.engine,
         }
+        # Included only when set so every pre-obs spec hash is unchanged.
+        if self.obs is not None:
+            data["obs"] = self.obs.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any],
@@ -102,6 +112,8 @@ class RunSpec:
             seed=data.get("seed"),
             validate=data.get("validate", True),
             engine=data.get("engine", "fast"),
+            obs=(ObsConfig.from_dict(data["obs"])
+                 if data.get("obs") else None),
             label=label,
         )
 

@@ -1,0 +1,189 @@
+"""repro.obs — observability for the warp-scheduling simulator.
+
+Three pillars (see ``docs/observability.md``):
+
+* **Event bus** (:mod:`repro.obs.events`, :mod:`repro.obs.bus`) —
+  typed scheduler/sync decision events (DDOS confidence transitions,
+  BOWS back-off episodes, lock outcomes, barrier episodes, hang
+  suspicion), emitted through pre-bound sinks so a run without
+  observability pays nothing.
+* **Interval sampler** (:mod:`repro.obs.sampler`) — Figure-11-style
+  time series of delta counters (IPC, SIMD efficiency, backed-off
+  fraction, lock fail rate, SIB issue rate, memory transactions).
+* **Profile reports** (:mod:`repro.obs.profile`, ``repro profile``) —
+  per-PC hot spots, per-warp spin timelines, DDOS detection latency,
+  rendered as markdown or JSON.
+
+Entry point::
+
+    from repro.api import simulate
+    result = simulate("ht", scheduler="bows", obs=True)
+    result.obs.series.to_csv("ht_bows.csv")
+    for event in result.obs.events("sib_detected"):
+        print(event)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.bus import EventBus, null_emitter
+from repro.obs.events import (
+    EVENT_KINDS,
+    EVENT_TYPES,
+    AdaptiveDelayUpdate,
+    BackoffEnter,
+    BackoffExit,
+    BarrierArrive,
+    BarrierRelease,
+    HangSuspected,
+    LockAcquireFail,
+    LockAcquireSuccess,
+    SIBCleared,
+    SIBDetected,
+    event_from_dict,
+    event_to_dict,
+    format_event,
+)
+from repro.obs.sampler import SERIES_COLUMNS, IntervalSampler, TimeSeries
+
+__all__ = [
+    "ObsConfig",
+    "Observability",
+    "as_observability",
+    "EventBus",
+    "null_emitter",
+    "EVENT_KINDS",
+    "EVENT_TYPES",
+    "SIBDetected",
+    "SIBCleared",
+    "BackoffEnter",
+    "BackoffExit",
+    "AdaptiveDelayUpdate",
+    "LockAcquireSuccess",
+    "LockAcquireFail",
+    "BarrierArrive",
+    "BarrierRelease",
+    "HangSuspected",
+    "event_to_dict",
+    "event_from_dict",
+    "format_event",
+    "IntervalSampler",
+    "TimeSeries",
+    "SERIES_COLUMNS",
+]
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """What to collect.  Frozen so it can ride in hashed RunSpecs.
+
+    Attributes:
+        events: collect decision events on an :class:`EventBus`.
+        event_capacity: bus ring-log size (evictions are counted).
+        sample_interval: cycles per time-series row; 0 disables the
+            sampler.
+    """
+
+    events: bool = True
+    event_capacity: int = 200_000
+    sample_interval: int = 1_000
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "events": self.events,
+            "event_capacity": self.event_capacity,
+            "sample_interval": self.sample_interval,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ObsConfig":
+        return cls(**data)
+
+
+class Observability:
+    """One run's worth of collected events + time series.
+
+    Pass to :func:`repro.api.simulate` via ``obs=`` (or just
+    ``obs=True``); the GPU wires the bus into every producer and polls
+    the sampler from its cycle loop.  After the run, the same object
+    hangs off ``SimResult.obs``.
+    """
+
+    def __init__(self, config: Optional[ObsConfig] = None) -> None:
+        self.config = config if config is not None else ObsConfig()
+        self.bus: Optional[EventBus] = (
+            EventBus(self.config.event_capacity) if self.config.events else None
+        )
+        self.sampler: Optional[IntervalSampler] = None
+
+    # -- GPU lifecycle -------------------------------------------------
+
+    def begin_run(self, stats, memsys_stats,
+                  warp_size: int = 32) -> Optional[IntervalSampler]:
+        """Bind the sampler to a run's live counters (GPU.launch)."""
+        if self.config.sample_interval > 0:
+            self.sampler = IntervalSampler(
+                stats, memsys_stats, self.config.sample_interval,
+                warp_size=warp_size,
+            )
+        return self.sampler
+
+    def end_run(self, now: int) -> None:
+        """Flush the final partial sampling interval (GPU.launch)."""
+        if self.sampler is not None:
+            self.sampler.finish(now)
+
+    # -- Access --------------------------------------------------------
+
+    @property
+    def series(self) -> Optional[TimeSeries]:
+        return self.sampler.series if self.sampler is not None else None
+
+    def events(self, kind: Optional[str] = None) -> List[Any]:
+        """Retained events, optionally filtered by kind string."""
+        if self.bus is None:
+            return []
+        return self.bus.events(kind)
+
+    def event_counts(self) -> Dict[str, int]:
+        """Per-kind event totals (survive ring-log eviction)."""
+        return dict(self.bus.counts) if self.bus is not None else {}
+
+    def to_dict(self, max_events: Optional[int] = None) -> Dict[str, Any]:
+        """JSON-ready payload (lab results, manifests, reports).
+
+        ``max_events`` truncates the embedded event log to the last N
+        (counts still reflect the full run).
+        """
+        payload: Dict[str, Any] = {"config": self.config.to_dict()}
+        if self.bus is not None:
+            log = self.bus.tail(max_events) if max_events else list(self.bus)
+            payload["events"] = {
+                "counts": dict(self.bus.counts),
+                "total": self.bus.total_events,
+                "dropped": self.bus.dropped,
+                "log": [event_to_dict(e) for e in log],
+            }
+        if self.series is not None:
+            payload["series"] = self.series.to_dict()
+        return payload
+
+
+def as_observability(
+    obs: Union[None, bool, ObsConfig, "Observability"],
+) -> Optional["Observability"]:
+    """Coerce the ``obs=`` argument accepted by the public API."""
+    if obs is None or obs is False:
+        return None
+    if obs is True:
+        return Observability()
+    if isinstance(obs, ObsConfig):
+        return Observability(obs)
+    if isinstance(obs, Observability):
+        return obs
+    raise TypeError(
+        "obs must be None, bool, ObsConfig, or Observability; "
+        f"got {type(obs).__name__}"
+    )

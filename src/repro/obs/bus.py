@@ -1,0 +1,116 @@
+"""Event bus with pre-bound emitters and a zero-cost disabled path.
+
+The bus follows the fast engine's tracer-hoisting discipline: producers
+never test "is observability on?" per decision.  Instead they call
+:meth:`EventBus.emitter` **once at construction time** and store the
+returned callable.  When no bus is attached they store
+:func:`null_emitter` — a shared module-level no-op — so the hot path
+costs one attribute-free call either way, and nothing at all on the
+branches that never fire.
+
+An emitter is bound to one event class::
+
+    emit_enter = bus.emitter(BackoffEnter)      # construction time
+    ...
+    emit_enter(cycle=now, sm_id=0, warp_slot=3, cta_id=1)   # hot path
+
+The bus keeps a bounded ring log (oldest events evicted, counted in
+:attr:`EventBus.dropped`), per-kind counts that survive eviction, and
+optional subscribers for tests/live tooling.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+def null_emitter(**_fields: Any) -> None:
+    """Shared no-op emitter used whenever no bus is attached."""
+
+
+class EventBus:
+    """Bounded, typed event log.
+
+    Parameters
+    ----------
+    capacity:
+        Ring-log size.  Oldest events are evicted once full (evictions
+        are counted in :attr:`dropped`); per-kind counts in
+        :attr:`counts` are never lost.  Must be positive.
+    """
+
+    def __init__(self, capacity: int = 200_000) -> None:
+        if capacity <= 0:
+            raise ValueError(f"EventBus capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._log: deque = deque(maxlen=capacity)
+        self.counts: Dict[str, int] = {}
+        self.dropped = 0
+        self._subscribers: List[Callable[[Any], None]] = []
+
+    def emitter(self, event_cls: type) -> Callable[..., None]:
+        """Return a callable that constructs + publishes ``event_cls``.
+
+        Bind the result once at construction time; the closure pins the
+        log/counts lookups so the per-event cost is one dataclass
+        construction and a deque append.
+        """
+        kind = event_cls.kind
+        log = self._log
+        counts = self.counts
+        subscribers = self._subscribers
+
+        def emit(**fields: Any) -> None:
+            event = event_cls(**fields)
+            counts[kind] = counts.get(kind, 0) + 1
+            if len(log) == log.maxlen:
+                self.dropped += 1
+            log.append(event)
+            for fn in subscribers:
+                fn(event)
+
+        emit.event_cls = event_cls  # type: ignore[attr-defined]
+        return emit
+
+    def publish(self, event: Any) -> None:
+        """Publish an already-constructed event (slow path; tests/tools)."""
+        self.counts[event.kind] = self.counts.get(event.kind, 0) + 1
+        if len(self._log) == self._log.maxlen:
+            self.dropped += 1
+        self._log.append(event)
+        for fn in self._subscribers:
+            fn(event)
+
+    def subscribe(self, fn: Callable[[Any], None]) -> None:
+        """Call ``fn(event)`` on every future publish (tests/live tools)."""
+        self._subscribers.append(fn)
+
+    def __len__(self) -> int:
+        return len(self._log)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._log)
+
+    @property
+    def total_events(self) -> int:
+        """Events ever published (including evicted ones)."""
+        return sum(self.counts.values())
+
+    def events(self, kind: Optional[str] = None) -> List[Any]:
+        """Retained events in publish order, optionally one kind only."""
+        if kind is None:
+            return list(self._log)
+        return [e for e in self._log if e.kind == kind]
+
+    def tail(self, n: int) -> List[Any]:
+        """The last ``n`` retained events."""
+        if n <= 0:
+            return []
+        return list(self._log)[-n:]
+
+    def clear(self) -> None:
+        """Drop retained events and reset counts/drop statistics."""
+        self._log.clear()
+        self.counts.clear()
+        self.dropped = 0

@@ -351,6 +351,10 @@ def _bar_handler(sm, warp, dop, exec_mask, now):
     warp.stack.advance()
     warp.at_barrier = True
     sm.stats.barrier_waits += 1
+    sm._emit_bar_arrive(
+        cycle=now, sm_id=sm.sm_id, cta_id=warp.cta_id,
+        warp_slot=warp.warp_slot,
+    )
     sm._barrier_arrive(warp.cta_id, now=now, skip_slot=warp.warp_slot)
 
 
@@ -488,7 +492,7 @@ def _make_atomic_handler(instr, warp_size, params):
             if is_lock_try and op is Opcode.ATOM_CAS:
                 sm._record_lock_attempt(
                     addr, old == int(operands[0][lane]) or magic,
-                    warp, warp_key, int(lane),
+                    warp, warp_key, int(lane), now,
                 )
             if lock_release:
                 sm.lock_table.pop(addr, None)

@@ -25,6 +25,7 @@ from repro.energy.model import EnergyModel
 from repro.isa.program import Program
 from repro.memory.memsys import GlobalMemory, MemorySubsystem
 from repro.metrics.stats import SimStats
+from repro.obs import Observability, as_observability
 from repro.sim.config import GPUConfig
 # Re-exported here for backwards compatibility: these were defined in
 # this module before the forward-progress guard existed.
@@ -64,6 +65,9 @@ class SimResult:
     config: GPUConfig
     launch: KernelLaunch
     sms: List[SM]
+    #: Attached :class:`repro.obs.Observability` (event bus + time
+    #: series) when the run collected any; None otherwise.
+    obs: Optional[Observability] = None
 
     @property
     def ddos_engines(self):
@@ -82,7 +86,7 @@ class GPU:
 
     def __init__(self, config: GPUConfig,
                  memory: Optional[GlobalMemory] = None,
-                 tracer=None, engine: str = "fast") -> None:
+                 tracer=None, engine: str = "fast", obs=None) -> None:
         if engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {engine!r}; choose from {ENGINES}"
@@ -91,6 +95,10 @@ class GPU:
         self.memory = memory if memory is not None else GlobalMemory()
         #: Optional :class:`repro.sim.trace.Tracer` capturing issues.
         self.tracer = tracer
+        #: Optional :class:`repro.obs.Observability` (accepts ``True``
+        #: or an :class:`repro.obs.ObsConfig` as shorthand): collects
+        #: decision events and interval time series during launches.
+        self.obs = as_observability(obs)
         #: ``"fast"`` (pre-decoded, event-driven readiness — the default)
         #: or ``"reference"`` (the seed per-cycle re-scan implementation).
         #: Both produce bitwise-identical statistics; see
@@ -102,6 +110,8 @@ class GPU:
         config = self.config
         stats = SimStats()
         memsys = MemorySubsystem(config)
+        obs = self.obs
+        bus = obs.bus if obs is not None else None
         lock_table: Dict[int, Tuple[WarpKey, int]] = {}
         sms = [
             SM(
@@ -115,6 +125,7 @@ class GPU:
                 stats=stats,
                 tracer=self.tracer,
                 engine=self.engine,
+                bus=bus,
             )
             for i in range(config.num_sms)
         ]
@@ -151,7 +162,13 @@ class GPU:
         monitor: Optional[ProgressMonitor] = None
         if config.no_progress_window > 0:
             monitor = ProgressMonitor(
-                config, sms, self.memory, stats, tracer=self.tracer
+                config, sms, self.memory, stats, tracer=self.tracer,
+                bus=bus,
+            )
+        sampler = None
+        if obs is not None:
+            sampler = obs.begin_run(
+                stats, memsys.stats, warp_size=config.warp_size
             )
         now = 0
         # Bound methods hoisted out of the cycle loop.
@@ -166,6 +183,8 @@ class GPU:
                 dispatch()  # refill any SM that freed CTA slots
             if next_cta >= launch.grid_dim and all(sm.idle for sm in sms):
                 break
+            if sampler is not None and now >= sampler.next_sample:
+                sampler.sample(now)  # before the monitor, which can raise
             if monitor is not None and now >= monitor.next_sample:
                 monitor.sample(now)  # raises on a classified hang
             if now >= config.max_cycles:
@@ -177,6 +196,7 @@ class GPU:
                         "timeout", now, sms, memory=self.memory,
                         stats=stats, tracer=self.tracer,
                         reason="exceeded max_cycles (watchdog disabled)",
+                        bus=bus,
                     )
                 raise SimulationTimeout(
                     f"kernel {launch.program.name!r} exceeded "
@@ -195,6 +215,7 @@ class GPU:
                         "deadlock", now, sms, memory=self.memory,
                         stats=stats, tracer=self.tracer,
                         reason="no warp can ever become ready again",
+                        bus=bus,
                     )
                     raise SimulationDeadlock(report.describe(), report)
                 next_now = min(events)
@@ -205,6 +226,8 @@ class GPU:
 
         stats.cycles = now
         stats.memory.merge(memsys.stats)
+        if obs is not None:
+            obs.end_run(now)
         energy = EnergyModel(num_sms=config.num_sms).evaluate(stats)
         stats.dynamic_energy_pj = energy.total_pj
         return SimResult(
@@ -214,4 +237,5 @@ class GPU:
             config=config,
             launch=launch,
             sms=sms,
+            obs=obs,
         )

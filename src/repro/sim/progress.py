@@ -122,6 +122,10 @@ class HangReport:
     digests: Dict[str, Any] = field(default_factory=dict)
     #: Last-N issued instructions (stringified Tracer records).
     trace_tail: List[str] = field(default_factory=list)
+    #: Last-K scheduler/sync decision events (stringified repro.obs
+    #: events) when an event bus was attached — what DDOS/BOWS and the
+    #: lock/barrier machinery decided right before the hang.
+    events_tail: List[str] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -134,6 +138,7 @@ class HangReport:
             "locks": [dict(l) for l in self.locks],
             "digests": dict(self.digests),
             "trace_tail": list(self.trace_tail),
+            "events_tail": list(self.events_tail),
         }
 
     @classmethod
@@ -148,6 +153,7 @@ class HangReport:
             locks=list(data.get("locks", [])),
             digests=dict(data.get("digests", {})),
             trace_tail=list(data.get("trace_tail", [])),
+            events_tail=list(data.get("events_tail", [])),
         )
 
     # -- presentation ---------------------------------------------------
@@ -195,6 +201,10 @@ class HangReport:
                 f"  lock @{lock['addr']}: {held}; "
                 f"{len(waiters)} warp(s) spinning on it"
             )
+        if self.events_tail:
+            lines.append("last scheduler/sync decisions:")
+            for line in self.events_tail[-8:]:
+                lines.append(f"  {line}")
         if self.kind == "deadlock":
             lines.append(
                 "hint: a warp blocked forever at a barrier or reconvergence "
@@ -254,6 +264,7 @@ def build_hang_report(
     reason: str = "",
     issued_in_window: Optional[Dict[Tuple, int]] = None,
     footprints: Optional[Dict[Tuple, Set[int]]] = None,
+    bus=None,
 ) -> HangReport:
     """Assemble a :class:`HangReport` from live simulator state.
 
@@ -325,10 +336,15 @@ def build_hang_report(
     if tracer is not None:
         tail = [str(r) for r in tracer.tail(32)]
 
+    events_tail: List[str] = []
+    if bus is not None:
+        from repro.obs.events import format_event
+        events_tail = [format_event(e) for e in bus.tail(20)]
+
     return HangReport(
         kind=kind, cycle=now, window=window, reason=reason,
         warps=warps, barriers=barriers, locks=locks,
-        digests=digests, trace_tail=tail,
+        digests=digests, trace_tail=tail, events_tail=events_tail,
     )
 
 
@@ -347,12 +363,20 @@ class ProgressMonitor:
     docstring) and a :class:`SimulationHang` subclass is raised.
     """
 
-    def __init__(self, config, sms, memory, stats, tracer=None) -> None:
+    def __init__(self, config, sms, memory, stats, tracer=None,
+                 bus=None) -> None:
         self.config = config
         self.sms = sms
         self.memory = memory
         self.stats = stats
         self.tracer = tracer
+        self.bus = bus
+        if bus is not None:
+            from repro.obs.events import HangSuspected
+            self._emit_hang = bus.emitter(HangSuspected)
+        else:
+            from repro.obs.bus import null_emitter
+            self._emit_hang = null_emitter
         self.window = config.no_progress_window
         self.epoch = max(1, min(config.progress_epoch, max(self.window, 1)))
         self.footprint_limit = config.hang_footprint_limit
@@ -430,20 +454,24 @@ class ProgressMonitor:
         window = now - self._window_start
         if not any_issued:
             self.last_assessment = "deadlock"
-            report = self._report("deadlock", now, window,
-                                  "no warp issued any instruction for "
-                                  f"{window} cycles", issued_in_window)
+            reason = ("no warp issued any instruction for "
+                      f"{window} cycles")
+            self._emit_hang(cycle=now, hang_kind="deadlock", reason=reason)
+            report = self._report("deadlock", now, window, reason,
+                                  issued_in_window)
             raise SimulationDeadlock(report.describe(), report)
 
         sync_evidence = sync_evidence or self._sync_traffic_moved()
         if sync_evidence:
             self.last_assessment = "livelock"
-            report = self._report(
-                "livelock", now, window,
+            reason = (
                 f"warps kept issuing for {window} cycles but no memory "
                 "write, lock acquisition, or warp completion occurred "
-                "(spin loops re-executing with no global-state change)",
-                issued_in_window,
+                "(spin loops re-executing with no global-state change)"
+            )
+            self._emit_hang(cycle=now, hang_kind="livelock", reason=reason)
+            report = self._report(
+                "livelock", now, window, reason, issued_in_window,
             )
             raise SimulationLivelock(report.describe(), report)
 
@@ -453,6 +481,9 @@ class ProgressMonitor:
         self.last_assessment = (
             "suspected livelock (small PC footprints, no global progress, "
             "but no synchronization traffic to confirm)"
+        )
+        self._emit_hang(
+            cycle=now, hang_kind="suspected", reason=self.last_assessment,
         )
 
     # ------------------------------------------------------------------
@@ -501,6 +532,7 @@ class ProgressMonitor:
             window=window, reason=reason,
             issued_in_window=issued_in_window,
             footprints=self._footprints,
+            bus=self.bus,
         )
 
     def timeout_report(self, now: int) -> HangReport:
@@ -509,9 +541,10 @@ class ProgressMonitor:
         for key, _sm, warp in self._warp_keys():
             base = self._baseline_issued.get(key, warp.issued_instructions)
             issued[key] = warp.issued_instructions - base
+        reason = f"exceeded max_cycles while {self.last_assessment}"
+        self._emit_hang(cycle=now, hang_kind="timeout", reason=reason)
         return self._report(
-            "timeout", now, now - self._window_start,
-            f"exceeded max_cycles while {self.last_assessment}", issued,
+            "timeout", now, now - self._window_start, reason, issued,
         )
 
 

@@ -50,6 +50,13 @@ from repro.isa.instructions import Instruction, Mem, Opcode
 from repro.isa.program import Program
 from repro.memory.memsys import GlobalMemory, MemorySubsystem
 from repro.metrics.stats import SimStats
+from repro.obs.bus import null_emitter
+from repro.obs.events import (
+    BarrierArrive,
+    BarrierRelease,
+    LockAcquireFail,
+    LockAcquireSuccess,
+)
 from repro.sim.config import GPUConfig
 from repro.sim.executor import (
     decode_program,
@@ -88,6 +95,7 @@ class SM:
         stats: SimStats,
         tracer=None,
         engine: str = "reference",
+        bus=None,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(
@@ -119,13 +127,27 @@ class SM:
             for i in range(n_sched)
         ]
         self.bows: Optional[BOWSUnit] = (
-            BOWSUnit(config.bows) if config.bows is not None else None
+            BOWSUnit(config.bows, sm_id=sm_id, bus=bus)
+            if config.bows is not None else None
         )
         self.ddos: Optional[DDOSEngine] = (
-            DDOSEngine(config.ddos, program, config.max_warps_per_sm)
+            DDOSEngine(config.ddos, program, config.max_warps_per_sm,
+                       sm_id=sm_id, bus=bus)
             if config.ddos is not None
             else None
         )
+        #: Pre-bound obs event sinks (no-ops when no bus is attached);
+        #: all emission sites are off the per-issue critical path.
+        if bus is not None:
+            self._emit_lock_ok = bus.emitter(LockAcquireSuccess)
+            self._emit_lock_fail = bus.emitter(LockAcquireFail)
+            self._emit_bar_arrive = bus.emitter(BarrierArrive)
+            self._emit_bar_release = bus.emitter(BarrierRelease)
+        else:
+            self._emit_lock_ok = null_emitter
+            self._emit_lock_fail = null_emitter
+            self._emit_bar_arrive = null_emitter
+            self._emit_bar_release = null_emitter
         self.cawa: Optional[CAWAPredictor] = (
             CAWAPredictor() if config.scheduler == "cawa" else None
         )
@@ -249,8 +271,8 @@ class SM:
             if warp.finished:
                 # A finished warp never blocks its CTA's barrier: its
                 # exit may release warp-mates already waiting there.
-                self._barrier_arrive(warp.cta_id)
-                self._retire_if_cta_done(warp.cta_id)
+                self._barrier_arrive(warp.cta_id, now=now)
+                self._retire_if_cta_done(warp.cta_id, now=now)
         return issued
 
     def _step_fast(self, now: int) -> int:
@@ -308,7 +330,7 @@ class SM:
                 # A finished warp never blocks its CTA's barrier: its
                 # exit may release warp-mates already waiting there.
                 self._barrier_arrive(warp.cta_id, now=now, skip_slot=slot)
-                self._retire_if_cta_done(warp.cta_id)
+                self._retire_if_cta_done(warp.cta_id, now=now)
             else:
                 self._refresh(warp)
                 if not warp.at_barrier:
@@ -484,7 +506,11 @@ class SM:
             warp.stack.advance()
             warp.at_barrier = True
             stats.barrier_waits += 1
-            self._barrier_arrive(warp.cta_id)
+            self._emit_bar_arrive(
+                cycle=now, sm_id=self.sm_id, cta_id=warp.cta_id,
+                warp_slot=warp.warp_slot,
+            )
+            self._barrier_arrive(warp.cta_id, now=now)
         elif op is Opcode.MEMBAR:
             warp.membar_until = max(now + 1, warp.last_store_completion)
             warp.stack.advance()
@@ -711,7 +737,7 @@ class SM:
             if is_lock_try and instr.opcode is Opcode.ATOM_CAS:
                 self._record_lock_attempt(
                     addr, old == int(operands[0][lane]) or magic,
-                    warp, warp_key, int(lane),
+                    warp, warp_key, int(lane), now,
                 )
             if instr.has_role("lock_release"):
                 self.lock_table.pop(addr, None)
@@ -727,21 +753,32 @@ class SM:
         warp.stack.advance()
 
     def _record_lock_attempt(self, addr: int, success: bool, warp: Warp,
-                             warp_key: WarpKey, lane: int) -> None:
+                             warp_key: WarpKey, lane: int,
+                             now: int = 0) -> None:
         locks = self.stats.locks
         if success:
             locks.lock_success += 1
             self.lock_table[addr] = (warp_key, lane)
             warp.lock_fail_addr = None
+            self._emit_lock_ok(
+                cycle=now, sm_id=self.sm_id, warp_slot=warp.warp_slot,
+                addr=addr, lane=lane,
+            )
         else:
             holder = self.lock_table.get(addr)
             if holder is not None and holder[0] == warp_key:
                 locks.intra_warp_fail += 1
+                conflict = "intra"
             else:
                 locks.inter_warp_fail += 1
+                conflict = "inter"
             # Hang forensics: remember which lock this warp is stuck on.
             warp.lock_fail_addr = addr
             warp.lock_fails += 1
+            self._emit_lock_fail(
+                cycle=now, sm_id=self.sm_id, warp_slot=warp.warp_slot,
+                addr=addr, lane=lane, conflict=conflict,
+            )
 
     # ------------------------------------------------------------------
     # Helpers
@@ -770,6 +807,10 @@ class SM:
             self.warps[s] for s in slots if not self.warps[s].finished
         ]
         if waiting and all(w.at_barrier for w in waiting):
+            self._emit_bar_release(
+                cycle=now, sm_id=self.sm_id, cta_id=cta_id,
+                released=len(waiting),
+            )
             for w in waiting:
                 w.at_barrier = False
                 # Fast engine: released warps become schedulable at once,
@@ -780,13 +821,14 @@ class SM:
                 if self._fast and w.warp_slot != skip_slot:
                     self._register(w, now)
 
-    def _retire_if_cta_done(self, cta_id: int) -> None:
+    def _retire_if_cta_done(self, cta_id: int,
+                            now: Optional[int] = None) -> None:
         slots = self._cta_slots.get(cta_id)
         if slots is None:
             return
         if all(self.warps[s].finished for s in slots):
             # A finished warp can never block a barrier.
-            self._barrier_arrive(cta_id)
+            self._barrier_arrive(cta_id, now=now)
             for slot in slots:
                 del self.warps[slot]
                 if self.bows is not None:

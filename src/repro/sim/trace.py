@@ -54,6 +54,10 @@ class Tracer:
     def __init__(self, capacity: int = 100_000,
                  predicate: Optional[Callable[[TraceRecord], bool]] = None,
                  ) -> None:
+        if capacity <= 0:
+            raise ValueError(
+                f"Tracer capacity must be positive, got {capacity}"
+            )
         self.capacity = capacity
         self.predicate = predicate
         self._records: Deque[TraceRecord] = deque(maxlen=capacity)
@@ -77,9 +81,13 @@ class Tracer:
         )
         if self.predicate is not None and not self.predicate(entry):
             return
-        if len(self._records) == self.capacity:
+        records = self._records
+        # Count drops only on actual evictions: compare against the
+        # deque's own bound, which (unlike the ``capacity`` attribute)
+        # cannot drift out of sync with the buffer.
+        if len(records) == records.maxlen:
             self.dropped += 1
-        self._records.append(entry)
+        records.append(entry)
 
     def records(self) -> List[TraceRecord]:
         return list(self._records)
@@ -98,16 +106,22 @@ class Tracer:
             return list(records)
         return [records[i] for i in range(len(records) - n, len(records))]
 
-    def export_chrome_trace(self, path) -> int:
+    def export_chrome_trace(self, path, counters=None) -> int:
         """Dump the ring buffer as Chrome ``trace_event`` JSON.
 
         Load the file in ``chrome://tracing`` or Perfetto to see the
         issue timeline — one process track per SM, one thread track per
-        warp slot, one cycle mapped to one microsecond.  Issues from a
-        backed-off warp are named ``<opcode> [backed-off]`` so spin and
-        back-off phases stand out; per-event args carry the PC, CTA,
-        and active-lane count.  Returns the number of issue events
-        written.
+        warp slot (named with its CTA, e.g. ``warp 03 (cta 1)``, and
+        ordered numerically via ``thread_sort_index``), one cycle mapped
+        to one microsecond.  Issues from a backed-off warp are named
+        ``<opcode> [backed-off]`` so spin and back-off phases stand out;
+        per-event args carry the PC, CTA, and active-lane count.
+
+        ``counters`` optionally takes a
+        :class:`repro.obs.sampler.TimeSeries` (or any object with a
+        ``perfetto_events()`` method) whose sampled metrics are merged
+        in as counter tracks.  Returns the number of issue events
+        written (counter events excluded).
         """
         events: List[dict] = []
         tracks = {}
@@ -141,10 +155,17 @@ class Tracer:
         for (sm_id, slot), cta in sorted(tracks.items()):
             metadata.append({
                 "name": "thread_name", "ph": "M", "pid": sm_id,
-                "tid": slot, "args": {"name": f"warp {slot:02d}"},
+                "tid": slot, "args": {"name": f"warp {slot:02d} (cta {cta})"},
             })
+            metadata.append({
+                "name": "thread_sort_index", "ph": "M", "pid": sm_id,
+                "tid": slot, "args": {"sort_index": slot},
+            })
+        counter_events: List[dict] = []
+        if counters is not None:
+            counter_events = counters.perfetto_events()
         payload = {
-            "traceEvents": metadata + events,
+            "traceEvents": metadata + events + counter_events,
             "displayTimeUnit": "ms",
             "otherData": {
                 "source": "repro.sim.trace.Tracer",

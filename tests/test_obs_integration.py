@@ -1,0 +1,221 @@
+"""Observability end to end: zero-interference, engine parity, lab, hangs.
+
+The contract the whole subsystem stands on: collection **observes**
+the simulation and never participates in it.  Statistics must be
+bitwise-identical with obs off and on, and the reference and fast
+engines must emit the *same event stream* — the emission sites sit on
+shared decision code, so any divergence is an engine bug, not noise.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import simulate
+from repro.isa import assemble
+from repro.lab import ResultCache, Runner, RunSpec
+from repro.memory.memsys import GlobalMemory
+from repro.obs import EVENT_KINDS, ObsConfig, Observability, as_observability
+from repro.sim.config import GPUConfig
+from repro.sim.gpu import GPU, KernelLaunch
+from repro.sim.progress import HangReport, SimulationLivelock
+
+HT = dict(n_threads=128, n_buckets=8, items_per_thread=1, block_dim=64)
+
+
+def run_ht(engine="fast", obs=True, bows="adaptive"):
+    config = GPUConfig.preset("fermi", scheduler="gto", bows=bows)
+    return simulate("ht", config=config, params=dict(HT), engine=engine,
+                    obs=obs)
+
+
+# ----------------------------------------------------------------------
+# Zero interference + engine parity
+
+
+@pytest.mark.parametrize("engine", ["fast", "reference"])
+def test_collection_never_changes_the_simulation(engine):
+    off = run_ht(engine=engine, obs=None)
+    on = run_ht(engine=engine, obs=True)
+    assert on.stats.summary() == off.stats.summary()
+    assert on.cycles == off.cycles
+    assert off.obs is None and on.obs is not None
+
+
+def test_engines_emit_identical_event_streams():
+    reference = run_ht(engine="reference")
+    fast = run_ht(engine="fast")
+    assert fast.stats.summary() == reference.stats.summary()
+    ref_events = reference.obs.events()
+    fast_events = fast.obs.events()
+    assert ref_events, "a BOWS+DDOS ht run must emit events"
+    assert fast_events == ref_events
+    assert fast.obs.event_counts() == reference.obs.event_counts()
+
+
+def test_engines_emit_identical_barrier_events():
+    params = dict(n_threads=128, block_dim=64)
+    runs = {
+        engine: simulate("reduction", params=dict(params), engine=engine,
+                         obs=True)
+        for engine in ("reference", "fast")
+    }
+    assert runs["fast"].obs.events() == runs["reference"].obs.events()
+    assert runs["fast"].obs.event_counts().get("barrier_release", 0) > 0
+
+
+def test_a_contended_run_exercises_the_lock_and_bows_taxonomy():
+    result = run_ht()
+    counts = result.obs.event_counts()
+    for kind in ("sib_detected", "backoff_enter", "backoff_exit",
+                 "adaptive_delay_update", "lock_acquire_success",
+                 "lock_acquire_fail"):
+        assert counts.get(kind, 0) > 0, kind
+    assert set(counts) <= set(EVENT_KINDS)
+    # backoff episodes are balanced: every exit had an enter.
+    assert counts["backoff_exit"] <= counts["backoff_enter"]
+
+
+def test_a_barrier_kernel_emits_barrier_episodes():
+    result = simulate("reduction", params=dict(n_threads=128, block_dim=64),
+                      obs=True)
+    counts = result.obs.event_counts()
+    assert counts.get("barrier_arrive", 0) > 0
+    assert counts.get("barrier_release", 0) > 0
+    # Every release frees at least one warp; arrivals cover releases.
+    releases = result.obs.events("barrier_release")
+    assert all(e.released >= 1 for e in releases)
+    assert counts["barrier_arrive"] >= counts["barrier_release"]
+
+
+def test_obs_coercion_contract():
+    assert as_observability(None) is None
+    assert as_observability(False) is None
+    obs = as_observability(True)
+    assert isinstance(obs, Observability)
+    assert as_observability(obs) is obs
+    tuned = as_observability(ObsConfig(sample_interval=0))
+    assert tuned.config.sample_interval == 0
+    with pytest.raises(TypeError):
+        as_observability("yes")
+
+
+def test_events_only_config_skips_the_sampler():
+    result = run_ht(obs=ObsConfig(sample_interval=0))
+    assert result.obs.series is None
+    assert result.obs.events()
+    payload = result.obs.to_dict()
+    assert "series" not in payload and "events" in payload
+
+
+# ----------------------------------------------------------------------
+# Hang forensics: decision events land in the report tail
+
+LEAKED_LOCK = """
+    ld.param %r_m, [mutex]
+SPIN:
+    atom.cas %r_old, [%r_m], 0, 1 !lock_try !sync
+    setp.ne %p1, %r_old, 0
+    @%p1 bra SPIN
+    exit
+"""
+
+
+def test_hang_report_embeds_last_decision_events(tiny_config):
+    config = tiny_config.replace(max_cycles=300_000,
+                                 no_progress_window=4_000,
+                                 progress_epoch=1_000)
+    memory = GlobalMemory(1 << 12)
+    mutex = memory.alloc(1)
+    program = assemble(LEAKED_LOCK, name="leaked_lock")
+    gpu = GPU(config, memory=memory, obs=True)
+    with pytest.raises(SimulationLivelock) as excinfo:
+        gpu.launch(KernelLaunch(program, 4, 1, {"mutex": mutex}))
+    report = excinfo.value.report
+    assert report.events_tail, "hang report must carry the event tail"
+    assert any("lock_acquire_fail" in line for line in report.events_tail)
+    assert "last scheduler/sync decisions:" in report.describe()
+    # The guard's own suspicion is on the bus too.
+    assert any(e.hang_kind == "livelock"
+               for e in gpu.obs.events("hang_suspected"))
+    # The tail survives the report's JSON round trip.
+    rebuilt = HangReport.from_dict(json.loads(json.dumps(report.to_dict())))
+    assert rebuilt.events_tail == report.events_tail
+
+
+def test_hang_report_without_bus_has_empty_tail(tiny_config):
+    config = tiny_config.replace(max_cycles=300_000,
+                                 no_progress_window=4_000,
+                                 progress_epoch=1_000)
+    memory = GlobalMemory(1 << 12)
+    mutex = memory.alloc(1)
+    program = assemble(LEAKED_LOCK, name="leaked_lock")
+    gpu = GPU(config, memory=memory)
+    with pytest.raises(SimulationLivelock) as excinfo:
+        gpu.launch(KernelLaunch(program, 4, 1, {"mutex": mutex}))
+    report = excinfo.value.report
+    assert report.events_tail == []
+    assert "last scheduler/sync decisions:" not in report.describe()
+
+
+# ----------------------------------------------------------------------
+# Lab integration: hashing, cache round trip, manifests
+
+VECADD = dict(n_threads=64, per_thread=2, block_dim=32)
+
+
+def make_spec(obs=None):
+    config = GPUConfig.preset("fermi", scheduler="gto")
+    return RunSpec("vecadd", config, dict(VECADD), obs=obs)
+
+
+def test_spec_hash_unchanged_when_obs_is_none():
+    plain = make_spec()
+    assert "obs" not in plain.to_dict()
+    assert plain.content_hash() == make_spec().content_hash()
+    collected = make_spec(obs=ObsConfig())
+    assert collected.content_hash() != plain.content_hash()
+    # Different collection settings are different cache entries.
+    assert collected.content_hash() != make_spec(
+        obs=ObsConfig(sample_interval=500)).content_hash()
+
+
+def test_spec_obs_survives_dict_round_trip():
+    spec = make_spec(obs=ObsConfig(sample_interval=250))
+    rebuilt = RunSpec.from_dict(spec.to_dict())
+    assert rebuilt.obs == spec.obs
+    assert rebuilt.content_hash() == spec.content_hash()
+    assert RunSpec.from_dict(make_spec().to_dict()).obs is None
+
+
+def test_runner_collects_obs_payload_and_caches_it(tmp_path):
+    spec = make_spec(obs=ObsConfig(sample_interval=200))
+    runner = Runner(workers=1, cache=ResultCache(tmp_path / "c"))
+    result = runner.run_one(spec)
+    assert result.obs is not None
+    assert result.obs["config"]["sample_interval"] == 200
+    assert result.obs["series"]["rows"]
+    log = result.obs["events"]["log"]
+    assert len(log) <= 2_000
+    assert result.obs["events"]["total"] >= len(log)
+    cached = runner.run_one(spec)
+    assert cached.from_cache
+    assert cached.obs == result.obs
+
+    plain = runner.run_one(make_spec())
+    assert plain.obs is None
+    assert plain.stats.summary() == result.stats.summary()
+
+
+def test_manifest_summarizes_obs(tmp_path):
+    spec = make_spec(obs=ObsConfig(sample_interval=200))
+    report = Runner(workers=1).run_many([spec, make_spec()])
+    manifest = report.manifest()
+    with_obs = [row for row in manifest["runs"] if "obs" in row]
+    assert len(with_obs) == 1
+    summary = with_obs[0]["obs"]
+    assert summary["event_total"] >= 0
+    assert summary["series_rows"] > 0
+    json.dumps(manifest)  # manifests must stay JSON-clean

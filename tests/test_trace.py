@@ -129,6 +129,99 @@ def test_export_chrome_trace_marks_backed_off_issues(tmp_path):
     assert all(e["args"]["backed_off"] for e in backed_off)
 
 
+def test_rejects_non_positive_capacity():
+    import pytest
+
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+    with pytest.raises(ValueError):
+        Tracer(capacity=-1)
+
+
+def test_export_thread_names_carry_cta_and_sort_index(tmp_path):
+    import json
+
+    from repro.harness.runner import make_config
+    from repro.kernels import build
+
+    tracer = Tracer()
+    # Two CTAs on one SM so distinct warp slots map to distinct CTAs.
+    workload = build("ht", n_threads=128, n_buckets=8, items_per_thread=1,
+                     block_dim=64)
+    gpu = GPU(make_config("gto", num_sms=1, max_warps_per_sm=8),
+              memory=workload.memory, tracer=tracer)
+    gpu.launch(workload.launch)
+    path = tmp_path / "trace.json"
+    tracer.export_chrome_trace(path)
+    events = json.loads(path.read_text())["traceEvents"]
+
+    names = {e["tid"]: e["args"]["name"] for e in events
+             if e["ph"] == "M" and e["name"] == "thread_name"}
+    ctas = {r.warp_slot: r.cta_id for r in tracer.records()}
+    assert names, "thread_name metadata must be present"
+    for slot, label in names.items():
+        assert label == f"warp {slot:02d} (cta {ctas[slot]})"
+    assert len({label.split("(cta ")[1] for label in names.values()}) > 1
+
+    sort = {e["tid"]: e["args"]["sort_index"] for e in events
+            if e["ph"] == "M" and e["name"] == "thread_sort_index"}
+    assert sort == {slot: slot for slot in names}
+
+
+def test_export_reports_accurate_drop_count(tiny_config, tmp_path):
+    import json
+
+    tracer = Tracer(capacity=5)
+    run_traced(tracer, tiny_config)
+    run_traced(tracer, tiny_config)  # 28 issues through a 5-slot ring
+    path = tmp_path / "trace.json"
+    written = tracer.export_chrome_trace(path)
+    assert written == 5
+    payload = json.loads(path.read_text())
+    assert payload["otherData"]["dropped_records"] == 28 - 5
+    assert tracer.dropped + len(tracer) == 28
+
+
+def test_export_event_args_round_trip_json(tiny_config, tmp_path):
+    import json
+
+    tracer = Tracer()
+    run_traced(tracer, tiny_config)
+    path = tmp_path / "trace.json"
+    tracer.export_chrome_trace(path)
+    issues = [e for e in json.loads(path.read_text())["traceEvents"]
+              if e["ph"] == "X"]
+    records = tracer.records()
+    assert len(issues) == len(records)
+    for event, record in zip(issues, records):
+        assert event["args"] == {
+            "pc": record.pc,
+            "cta": record.cta_id,
+            "active_lanes": record.active_lanes,
+            "backed_off": record.backed_off,
+        }
+
+
+def test_export_merges_sampled_counter_tracks(tiny_config, tmp_path):
+    import json
+
+    from repro.obs import SERIES_COLUMNS, TimeSeries
+
+    series = TimeSeries(interval=100, rows=[
+        {"cycle": 100, "ipc": 0.5, "simd_efficiency": 1.0,
+         "backed_off_fraction": 0.0, "lock_fail_rate": 0.0,
+         "sib_issue_rate": 0.0, "memory_transactions": 4},
+    ])
+    tracer = Tracer()
+    run_traced(tracer, tiny_config)
+    path = tmp_path / "trace.json"
+    written = tracer.export_chrome_trace(path, counters=series)
+    assert written == 14  # counter events are not issue events
+    events = json.loads(path.read_text())["traceEvents"]
+    counters = [e for e in events if e["ph"] == "C"]
+    assert {e["name"] for e in counters} == set(SERIES_COLUMNS) - {"cycle"}
+
+
 def test_attach_helper(tiny_config):
     tracer = Tracer()
     program = assemble(SOURCE)
