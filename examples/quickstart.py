@@ -6,6 +6,15 @@ the scaled GTX480-shaped simulator under plain GTO scheduling and under
 GTO + BOWS (with DDOS detecting the spin loop at runtime), validates
 the hashtable both times, and reports the speedup.
 
+Building a workload is cheap — the simulation below is what takes the
+time.  The kernel ships with its spin-loop ground truth annotated:
+
+>>> from repro import build_workload
+>>> workload = build_workload("ht", n_threads=64, n_buckets=8,
+...                           items_per_thread=1, block_dim=64)
+>>> sorted(workload.launch.program.true_sibs())
+[33]
+
 Run:  python examples/quickstart.py
 """
 

@@ -12,6 +12,15 @@ Recreates the paper's Figure 7 walk-through:
    power-of-two stride whose low hash bits never change — falsely
    detected under MODULO, clean under XOR.
 
+The paper's best configuration (XOR hashing, m=k=8, t=4) is the
+default, so ``DDOSConfig()`` with no arguments reproduces Table I:
+
+>>> from repro import DDOSConfig
+>>> config = DDOSConfig()
+>>> (config.hashing, config.path_bits, config.value_bits,
+...  config.confidence_threshold)
+('xor', 8, 8, 4)
+
 Run:  python examples/spin_detection.py
 """
 

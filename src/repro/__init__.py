@@ -21,6 +21,15 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every figure and table.
 """
 
+from repro.analysis import (
+    Diagnostic,
+    LintReport,
+    Sanitizer,
+    SanitizerConfig,
+    lint_all,
+    lint_kernel,
+    lint_program,
+)
 from repro.api import simulate
 from repro.core import hardware_cost
 from repro.core.adaptive import AdaptiveDelayController
@@ -68,12 +77,16 @@ __all__ = [
     "BOWSUnit",
     "DDOSConfig",
     "DDOSEngine",
+    "Diagnostic",
     "GPUConfig",
     "GlobalMemory",
     "HangReport",
     "KernelLaunch",
+    "LintReport",
     "PerturbConfig",
     "Program",
+    "Sanitizer",
+    "SanitizerConfig",
     "SYNC_FREE_KERNELS",
     "SYNC_KERNELS",
     "SimResult",
@@ -90,6 +103,9 @@ __all__ = [
     "hash_modulo",
     "hash_xor",
     "kernel_names",
+    "lint_all",
+    "lint_kernel",
+    "lint_program",
     "make_config",
     "pascal_config",
     "run_workload",

@@ -1,0 +1,417 @@
+"""CFG dataflow analyses behind the static lint.
+
+Pure analyses over :class:`repro.isa.program.Program` — no diagnostics
+here, just facts:
+
+* :func:`reachable_blocks` / :func:`unreachable_blocks` — entry
+  reachability.
+* :func:`use_before_def` — per-lane definite-assignment (which register
+  or predicate reads can observe an undefined value on some path).
+* :func:`uniformity` — which values are warp-*varying* and which
+  branches can therefore diverge, with the feedback that any value
+  written inside a divergent region is itself varying (a ``mov`` under a
+  partial mask leaves lanes disagreeing even though its sources are
+  uniform).
+* :func:`divergent_region` — the blocks executing under a given
+  branch's divergence, i.e. everything reachable from its successors
+  without passing through its reconvergence block.
+* :func:`loop_variant_values` — which values change from one loop
+  iteration to the next *by the loop's own computation* (induction
+  updates, ``clock`` reads) as opposed to values that only another warp
+  can change (loaded flags, failed CAS results).  A backward branch
+  whose guard is loop-invariant in this sense is a busy-wait: the warp
+  cannot leave the loop without outside intervention.
+* :func:`spin_candidates` — the paper's SIB definition made static:
+  natural loops (dominance back edges) whose witness-free subgraph
+  still contains the back-edge cycle and whose exit guards are not
+  loop-variant.
+
+Values are keyed like scoreboard hazard keys: ``"r:name"`` for
+registers, ``"p:name"`` for predicates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.isa.instructions import (
+    ALU_OPCODES,
+    ATOMIC_OPCODES,
+    Instruction,
+    Mem,
+    Opcode,
+    Pred,
+    Reg,
+    Sreg,
+)
+from repro.isa.program import RECONVERGE_AT_EXIT, Program
+
+__all__ = [
+    "divergent_region",
+    "loop_variant_values",
+    "reachable_blocks",
+    "spin_candidates",
+    "uniformity",
+    "unreachable_blocks",
+    "use_before_def",
+]
+
+#: Special registers that differ between lanes of one warp.
+VARYING_SREGS = frozenset({"tid", "laneid", "gtid"})
+
+#: Opcodes whose destination is loop-variant by itself (time advances).
+_SELF_VARIANT = frozenset({Opcode.CLOCK})
+
+#: Loads and read-modify-writes: the destination depends on *memory*,
+#: which only some other warp can change — polling, not progress.
+_MEMORY_DST = frozenset({Opcode.LD_GLOBAL, Opcode.LD_GLOBAL_CG}) | ATOMIC_OPCODES
+
+
+def _key(operand) -> Optional[str]:
+    if isinstance(operand, Reg):
+        return "r:" + operand.name
+    if isinstance(operand, Pred):
+        return "p:" + operand.name
+    return None
+
+
+def _block_instrs(program: Program, block_index: int) -> Iterable[Instruction]:
+    block = program.blocks[block_index]
+    return program.instructions[block.start:block.end + 1]
+
+
+def reachable_blocks(program: Program) -> Set[int]:
+    """Block indices reachable from the entry block."""
+    seen = {0}
+    stack = [0]
+    while stack:
+        for succ in program.blocks[stack.pop()].successors:
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return seen
+
+
+def unreachable_blocks(program: Program) -> Set[int]:
+    return {b.index for b in program.blocks} - reachable_blocks(program)
+
+
+# ----------------------------------------------------------------------
+# Definite assignment
+
+def _uses(instr: Instruction) -> List[str]:
+    keys = []
+    if instr.guard is not None:
+        keys.append("p:" + instr.guard.name)
+    for operand in instr.read_operands():
+        if isinstance(operand, Mem):
+            keys.append("r:" + operand.base.name)
+        else:
+            key = _key(operand)
+            if key is not None:
+                keys.append(key)
+    return keys
+
+
+def _defs(instr: Instruction) -> List[str]:
+    # A guarded write still defines the value for this analysis; per-lane
+    # guard-precision is out of scope (guards on non-branches are rare in
+    # this ISA and `selp` covers conditional values).
+    if instr.opcode is Opcode.ST_GLOBAL:
+        return []  # dst is the memory operand, read not written
+    key = _key(instr.dst)
+    return [key] if key is not None else []
+
+
+def use_before_def(program: Program) -> List[Tuple[int, str]]:
+    """``(instruction index, value key)`` pairs where a register or
+    predicate may be read before any definition on some path."""
+    reachable = sorted(reachable_blocks(program))
+    universe = frozenset(
+        key
+        for instr in program.instructions
+        for key in _uses(instr) + _defs(instr)
+    )
+    preds: Dict[int, List[int]] = {b: [] for b in reachable}
+    for b in reachable:
+        for succ in program.blocks[b].successors:
+            if succ in preds:
+                preds[succ].append(b)
+
+    def transfer(state: frozenset, block_index: int) -> frozenset:
+        defined = set(state)
+        for instr in _block_instrs(program, block_index):
+            defined.update(_defs(instr))
+        return frozenset(defined)
+
+    in_state: Dict[int, frozenset] = {b: universe for b in reachable}
+    in_state[0] = frozenset()
+    out_state: Dict[int, frozenset] = {
+        b: transfer(in_state[b], b) for b in reachable
+    }
+    work = list(reachable)
+    while work:
+        b = work.pop()
+        if preds[b]:
+            new_in = frozenset.intersection(
+                *(out_state[p] for p in preds[b])
+            )
+            if b == 0:
+                new_in = frozenset()  # entry also starts undefined
+        else:
+            new_in = frozenset() if b == 0 else universe
+        if new_in != in_state[b]:
+            in_state[b] = new_in
+        new_out = transfer(new_in, b)
+        if new_out != out_state[b]:
+            out_state[b] = new_out
+            work.extend(s for s in program.blocks[b].successors
+                        if s in preds)
+
+    violations: List[Tuple[int, str]] = []
+    for b in reachable:
+        defined = set(in_state[b])
+        for instr in _block_instrs(program, b):
+            for key in _uses(instr):
+                if key not in defined:
+                    violations.append((instr.index, key))
+            defined.update(_defs(instr))
+    return sorted(set(violations))
+
+
+# ----------------------------------------------------------------------
+# Uniformity / divergence
+
+def divergent_region(program: Program, branch_index: int) -> Set[int]:
+    """Blocks executing under ``branch_index``'s divergence: reachable
+    from the branch's successors without entering its reconvergence
+    block.  The reconvergence block itself is excluded — by the time it
+    executes, the IPDOM stack has re-merged the warp."""
+    instr = program.instructions[branch_index]
+    block = program.block_of(branch_index)
+    rpc = program.reconvergence.get(branch_index, RECONVERGE_AT_EXIT)
+    rpc_block = None if rpc == RECONVERGE_AT_EXIT else program.block_of(rpc).index
+    region: Set[int] = set()
+    stack = [s for s in block.successors if s != rpc_block]
+    while stack:
+        b = stack.pop()
+        if b in region:
+            continue
+        region.add(b)
+        stack.extend(s for s in program.blocks[b].successors
+                     if s != rpc_block and s not in region)
+    return region
+
+
+def uniformity(program: Program) -> Tuple[Set[str], Set[int]]:
+    """``(varying value keys, divergent conditional-branch indices)``.
+
+    Fixpoint of three mutually dependent facts: a value is varying if
+    computed from varying inputs (``%tid``/``%laneid``/``%gtid``, loads,
+    atomic results) *or written anywhere inside a divergent region*; a
+    conditional branch is divergent if its guard is varying; a divergent
+    region is what :func:`divergent_region` returns for a divergent
+    branch."""
+    reachable = reachable_blocks(program)
+    varying: Set[str] = set()
+    divergent: Set[int] = set()
+    divergent_instrs: Set[int] = set()
+    while True:
+        changed = False
+        for b in reachable:
+            for instr in _block_instrs(program, b):
+                dst = _key(instr.dst)
+                if dst is None or dst in varying:
+                    continue
+                if instr.opcode is Opcode.ST_GLOBAL:
+                    continue
+                is_varying = False
+                if instr.opcode in _MEMORY_DST:
+                    is_varying = True
+                elif instr.index in divergent_instrs:
+                    is_varying = True
+                else:
+                    for operand in instr.srcs:
+                        if isinstance(operand, Sreg):
+                            if operand.name in VARYING_SREGS:
+                                is_varying = True
+                                break
+                        else:
+                            key = _key(operand)
+                            if key is not None and key in varying:
+                                is_varying = True
+                                break
+                if is_varying:
+                    varying.add(dst)
+                    changed = True
+        for b in reachable:
+            instr = program.instructions[program.blocks[b].end]
+            if (instr.is_conditional_branch
+                    and instr.index not in divergent
+                    and "p:" + instr.guard.name in varying):
+                divergent.add(instr.index)
+                region = divergent_region(program, instr.index)
+                for rb in region:
+                    for r_instr in _block_instrs(program, rb):
+                        divergent_instrs.add(r_instr.index)
+                changed = True
+        if not changed:
+            return varying, divergent
+
+
+# ----------------------------------------------------------------------
+# Loop variance and spin candidates
+
+def loop_variant_values(program: Program, blocks: Set[int]) -> Set[str]:
+    """Value keys that change across iterations of a cycle through
+    ``blocks`` by the warp's *own* computation.
+
+    Seeds: ``clock`` destinations (time advances) and self-updating ALU
+    destinations (``add %r, %r, 1`` — induction).  Variance propagates
+    through ALU/``setp``/``selp`` data dependencies.  Load and atomic
+    destinations are *not* variant: they repeat the same value until
+    another warp changes memory — that is waiting, not progress."""
+    variant: Set[str] = set()
+    instrs = [i for b in blocks for i in _block_instrs(program, b)]
+    changed = True
+    while changed:
+        changed = False
+        for instr in instrs:
+            dst = _key(instr.dst)
+            if dst is None or dst in variant:
+                continue
+            if instr.opcode in _MEMORY_DST or instr.opcode is Opcode.ST_GLOBAL:
+                continue
+            is_variant = False
+            if instr.opcode in _SELF_VARIANT:
+                is_variant = True
+            elif instr.opcode in ALU_OPCODES or instr.is_setp:
+                for operand in instr.srcs:
+                    key = _key(operand)
+                    if key is not None and (key in variant or key == dst):
+                        is_variant = True
+                        break
+            if is_variant:
+                variant.add(dst)
+                changed = True
+    return variant
+
+
+def _is_progress_witness(instr: Instruction) -> bool:
+    """Does executing this instruction constitute forward progress?
+
+    Plain global stores, unconditional read-modify-write atomics and
+    barrier arrivals all advance observable state.  ``atom.cas`` never
+    does (it is the polling primitive) and ``!lock_release`` accesses of
+    any opcode do not either — releasing a lock you could not use (the
+    ATM/DS retry protocol drops the outer lock when the inner CAS
+    fails) is part of the spin, not an escape from it."""
+    if instr.has_role("lock_release"):
+        return False
+    if instr.opcode is Opcode.ST_GLOBAL:
+        return True
+    if instr.opcode is Opcode.BAR_SYNC:
+        return True
+    if instr.opcode in ATOMIC_OPCODES and instr.opcode is not Opcode.ATOM_CAS:
+        return True
+    return False
+
+
+def _spin_core(program: Program, blocks: Set[int],
+               head: int, tail: int) -> Set[int]:
+    """Blocks lying on some ``head -> ... -> tail`` path inside ``blocks``.
+
+    Empty when no such path exists.  Restricting the spin subgraph to
+    this core matters: a block of ``blocks`` that is only reachable
+    *through* a progress-witness block (e.g. the induction-variable
+    bump after a critical section) is not part of the no-progress cycle
+    and must not contribute loop-variant values to the analysis.
+    """
+    if head not in blocks or tail not in blocks:
+        return set()
+    fwd = {head}
+    stack = [head]
+    while stack:
+        for succ in program.blocks[stack.pop()].successors:
+            if succ in blocks and succ not in fwd:
+                fwd.add(succ)
+                stack.append(succ)
+    if tail not in fwd:
+        return set()
+    preds: Dict[int, Set[int]] = {b: set() for b in blocks}
+    for b in blocks:
+        for succ in program.blocks[b].successors:
+            if succ in blocks:
+                preds[succ].add(b)
+    bwd = {tail}
+    stack = [tail]
+    while stack:
+        for pred in preds[stack.pop()]:
+            if pred not in bwd:
+                bwd.add(pred)
+                stack.append(pred)
+    return fwd & bwd
+
+
+def spin_candidates(program: Program) -> Dict[int, Dict[str, object]]:
+    """Statically detected spin-inducing branches.
+
+    Maps the closing-branch instruction index of each qualifying back
+    edge to facts about the loop.  A back edge qualifies when:
+
+    1. its *spin subgraph* — the natural-loop blocks containing no
+       progress witness (:func:`_is_progress_witness`), restricted to
+       the blocks actually on a witness-free ``head -> tail`` cycle
+       (:func:`_spin_core`) — is non-empty, i.e. the warp can go
+       around without making progress; and
+    2. the loop cannot terminate by its own computation: the closing
+       branch's guard (when conditional) is not loop-variant inside the
+       spin subgraph, and no conditional branch that *escapes* the
+       subgraph (a loop exit, or an edge into a progress-witness block
+       such as the critical section) has a loop-variant guard.  A
+       variant escape guard means the warp leaves the spin by itself
+       after finitely many iterations — a delay loop, not a busy-wait.
+    """
+    candidates: Dict[int, Dict[str, object]] = {}
+    reachable = reachable_blocks(program)
+    for (tail, head), loop_blocks in sorted(program.natural_loops().items()):
+        if tail not in reachable:
+            continue
+        closing = program.instructions[program.blocks[tail].end]
+        if not closing.is_branch:
+            continue
+        if closing.target_index != program.blocks[head].start:
+            continue
+        witnesses = {
+            b for b in loop_blocks
+            if any(_is_progress_witness(i) for i in _block_instrs(program, b))
+        }
+        spin_blocks = _spin_core(program, loop_blocks - witnesses, head, tail)
+        if not spin_blocks:
+            continue
+        variant = loop_variant_values(program, spin_blocks)
+        if (closing.is_conditional_branch
+                and "p:" + closing.guard.name in variant):
+            continue
+        escapes_by_itself = False
+        for b in spin_blocks:
+            instr = program.instructions[program.blocks[b].end]
+            if not instr.is_conditional_branch or instr.index == closing.index:
+                continue
+            block = program.blocks[b]
+            succs = set(block.successors)
+            if succs <= spin_blocks:
+                continue  # internal edge (e.g. a nested delay loop)
+            if "p:" + instr.guard.name in variant:
+                escapes_by_itself = True
+                break
+        if escapes_by_itself:
+            continue
+        candidates[closing.index] = {
+            "back_edge": (tail, head),
+            "loop_blocks": sorted(loop_blocks),
+            "spin_blocks": sorted(spin_blocks),
+            "witness_blocks": sorted(witnesses),
+            "variant": sorted(variant),
+        }
+    return candidates

@@ -1,0 +1,503 @@
+"""Static kernel lint: spin-loop, lock-discipline, barrier and CFG checks.
+
+The checkers (catalog and failing examples in ``docs/analysis.md``):
+
+========  ========  ====================================================
+id        severity  finding
+========  ========  ====================================================
+SIB001    warning   statically a busy-wait spin loop, branch lacks ``!sib``
+SIB002    error     annotated ``!sib`` but no spin loop found statically
+LOCK001   error     ``!lock_try`` acquire with no ``!lock_release`` anywhere
+LOCK002   error     ``!lock_release`` on a lock no path can hold here
+LOCK003   error     lock may still be held when the thread exits
+LOCK004   warning   re-acquiring a lock already held (self-deadlock)
+BAR001    error     ``bar.sync`` reachable under warp divergence
+REG001    error     register/predicate may be read before any definition
+CFG001    warning   unreachable basic block
+========  ========  ====================================================
+
+A known-intentional finding is waived by annotating the instruction with
+``!waive_<id>`` (e.g. ``!waive_sib001`` on NW's lock-acquire loop, which
+is spin-*shaped* but deliberately unannotated because it never spins at
+runtime).  Waived findings move to :attr:`LintReport.waived` and do not
+fail the lint.
+
+The SIB pass doubles as the paper's Table I *static oracle*:
+:func:`static_sib_oracle` is the per-kernel ground-truth set derived
+from the CFG alone, and :func:`score_against_oracle` diffs DDOS runtime
+detections against it to produce TSDR/FSDR mechanically (see
+``EXPERIMENTS.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis import dataflow
+from repro.analysis.diagnostics import Diagnostic, waiver_role
+from repro.isa.instructions import Instruction, Mem, Opcode, Reg
+from repro.isa.program import Program
+
+__all__ = [
+    "LintReport",
+    "lint_all",
+    "lint_kernel",
+    "lint_program",
+    "score_against_oracle",
+    "sib_candidates",
+    "static_sib_oracle",
+]
+
+
+def sib_candidates(program: Program) -> Set[int]:
+    """Branch indices the static SIB classifier flags (pre-waiver)."""
+    return set(dataflow.spin_candidates(program))
+
+
+def static_sib_oracle(program: Program) -> Set[int]:
+    """The Table I static ground-truth SIB set: every statically
+    detected spin branch except those carrying a ``!waive_sib001``
+    role (spin-shaped code known never to spin at runtime)."""
+    return {
+        pc for pc in sib_candidates(program)
+        if not program.instructions[pc].has_role(waiver_role("SIB001"))
+    }
+
+
+@dataclass
+class LintReport:
+    """Outcome of linting one program."""
+
+    kernel: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: Findings suppressed by ``!waive_<id>`` roles.
+    waived: List[Diagnostic] = field(default_factory=list)
+    #: Static SIB classifier output (pre-waiver branch indices).
+    sib_candidates: List[int] = field(default_factory=list)
+    #: Waiver-filtered ground truth (:func:`static_sib_oracle`).
+    sib_oracle: List[int] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def ok(self) -> bool:
+        """No unwaived findings of any severity."""
+        return not self.diagnostics
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kernel": self.kernel,
+            "ok": self.ok,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "waived": [d.to_dict() for d in self.waived],
+            "sib_candidates": list(self.sib_candidates),
+            "sib_oracle": list(self.sib_oracle),
+        }
+
+    def render(self) -> str:
+        lines = []
+        status = "OK" if self.ok else \
+            f"{len(self.diagnostics)} finding(s), {len(self.errors)} error(s)"
+        extra = f", {len(self.waived)} waived" if self.waived else ""
+        lines.append(f"lint {self.kernel}: {status}{extra} "
+                     f"(static SIBs: {self.sib_oracle or 'none'})")
+        for diag in self.diagnostics:
+            lines.append("  " + diag.format().replace("\n", "\n  "))
+        for diag in self.waived:
+            lines.append(f"  waived {diag.id} at pc {diag.pc} "
+                         f"({diag.message})")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Individual passes
+
+def _diag(kernel: str, diag_id: str, severity: str, pc: int,
+          message: str, hint: str = "", **detail) -> Diagnostic:
+    return Diagnostic(id=diag_id, severity=severity, kernel=kernel,
+                      pc=pc, message=message, hint=hint,
+                      detail=detail)
+
+
+def _check_sibs(program: Program, kernel: str) -> List[Diagnostic]:
+    out = []
+    details = dataflow.spin_candidates(program)
+    candidates = set(details)
+    annotated = program.true_sibs()
+    for pc in sorted(candidates - annotated):
+        info = details[pc]
+        out.append(_diag(
+            kernel, "SIB001", "warning", pc,
+            "busy-wait spin loop detected statically but the closing "
+            "branch is not annotated !sib",
+            hint="add !sib if this loop waits on another warp, or "
+                 "!waive_sib001 if it is spin-shaped but never spins "
+                 "at runtime",
+            loop_blocks=info["loop_blocks"],
+        ))
+    for pc in sorted(annotated - candidates):
+        out.append(_diag(
+            kernel, "SIB002", "error", pc,
+            "branch annotated !sib but the static classifier finds no "
+            "busy-wait loop here",
+            hint="the loop body makes forward progress (stores/atomics) "
+                 "or its guard changes by the warp's own computation; "
+                 "fix the annotation or the loop",
+        ))
+    return out
+
+
+# -- lock discipline ---------------------------------------------------
+
+def _lock_symbol(operand: Mem) -> str:
+    return f"{operand.base.name}+{operand.offset}"
+
+
+def _mem_operand(instr: Instruction) -> Optional[Mem]:
+    if instr.opcode is Opcode.ST_GLOBAL:
+        return instr.dst if isinstance(instr.dst, Mem) else None
+    for operand in instr.srcs:
+        if isinstance(operand, Mem):
+            return operand
+    return None
+
+
+#: One abstract machine state: locks held as ``(symbol, acquire_pc)``
+#: pairs, plus predicate facts ``(pred_key, symbol, true_means_held,
+#: acquire_pc)`` and CAS-result facts ``(reg_key, symbol, compare_repr,
+#: acquire_pc)``.
+_State = Tuple[frozenset, frozenset, frozenset]
+
+#: Defensive cap on distinct abstract states tracked per block.
+_MAX_STATES = 64
+
+
+def _operand_repr(operand) -> str:
+    return str(operand)
+
+
+def _lockset_pass(program: Program, kernel: str) -> List[Diagnostic]:
+    """Lockset-style abstract interpretation with predicate refinement.
+
+    Acquisition (``atom.cas [L], free, held !lock_try``) does not by
+    itself add ``L`` to the held set — only the branch edge that
+    observes the success predicate does, exactly like the hardware's
+    per-lane predicate.  A ``setp`` comparing the CAS destination
+    against the CAS compare operand binds that predicate to the lock;
+    each branch edge then refines the held set for the path it starts.
+    """
+    diagnostics: List[Diagnostic] = []
+    acquires: Dict[str, List[int]] = {}
+    releases: Dict[str, List[int]] = {}
+    for instr in program.instructions:
+        mem = _mem_operand(instr)
+        if mem is None:
+            continue
+        sym = _lock_symbol(mem)
+        if instr.has_role("lock_try"):
+            acquires.setdefault(sym, []).append(instr.index)
+        if instr.has_role("lock_release"):
+            releases.setdefault(sym, []).append(instr.index)
+
+    # LOCK001: acquire with no release anywhere in the program.
+    for sym, pcs in sorted(acquires.items()):
+        if sym not in releases:
+            for pc in pcs:
+                diagnostics.append(_diag(
+                    kernel, "LOCK001", "error", pc,
+                    f"lock [{sym}] is acquired but never released "
+                    f"anywhere in the kernel",
+                    hint="add an atom.exch/st.global with !lock_release "
+                         "on the same address after the critical section",
+                    symbol=sym,
+                ))
+
+    if not acquires and not releases:
+        return diagnostics
+
+    reachable = dataflow.reachable_blocks(program)
+    empty: _State = (frozenset(), frozenset(), frozenset())
+    block_states: Dict[int, Set[_State]] = {b: set() for b in reachable}
+    block_states[0] = {empty}
+    # Facts gathered during the fixpoint, diagnosed afterwards so every
+    # reaching state has been seen: per release pc, the held-symbols
+    # observed; per acquire pc, whether some state already held it; per
+    # exit pc, leaked (symbol, acquire_pc) pairs.
+    release_seen: Dict[int, Set[bool]] = {}
+    reacquire_seen: Dict[int, Set[str]] = {}
+    exit_leaks: Set[Tuple[int, str, int]] = set()
+
+    def kill_key(facts: frozenset, key: str) -> frozenset:
+        return frozenset(f for f in facts if f[0] != key)
+
+    def transfer(block_index: int, state: _State) -> List[Tuple[int, _State]]:
+        held, preds, cas_facts = state
+        block = program.blocks[block_index]
+        for instr in program.instructions[block.start:block.end + 1]:
+            mem = _mem_operand(instr)
+            sym = _lock_symbol(mem) if mem is not None else None
+            is_lock_try = instr.is_atomic and instr.has_role("lock_try")
+            if is_lock_try:
+                already = {s for s, _ in held}
+                if sym in already:
+                    reacquire_seen.setdefault(instr.index, set()).add(sym)
+                if instr.dst is not None:
+                    dst_key = "r:" + instr.dst.name
+                    cas_facts = kill_key(cas_facts, dst_key)
+                    if instr.opcode is Opcode.ATOM_CAS:
+                        compare = _operand_repr(instr.srcs[1])
+                    else:
+                        # test-and-set style exch: success == saw 0
+                        compare = "0"
+                    cas_facts = cas_facts | {
+                        (dst_key, sym, compare, instr.index)
+                    }
+            elif instr.has_role("lock_release") and sym is not None:
+                release_seen.setdefault(instr.index, set()).add(
+                    any(s == sym for s, _ in held))
+                held = frozenset(h for h in held if h[0] != sym)
+            if instr.is_setp and instr.dst is not None:
+                pred_key = "p:" + instr.dst.name
+                preds = kill_key(preds, pred_key)
+                if instr.cmp in ("eq", "ne") and len(instr.srcs) == 2:
+                    reprs = [_operand_repr(s) for s in instr.srcs]
+                    keys = ["r:" + s.name if isinstance(s, Reg) else None
+                            for s in instr.srcs]
+                    for fact in cas_facts:
+                        reg_key, sym_f, compare, acq_pc = fact
+                        for i in (0, 1):
+                            if keys[i] == reg_key and reprs[1 - i] == compare:
+                                true_means_held = instr.cmp == "eq"
+                                preds = preds | {
+                                    (pred_key, sym_f, true_means_held,
+                                     acq_pc)
+                                }
+            elif (not is_lock_try and instr.dst is not None
+                    and not isinstance(instr.dst, Mem)):
+                # any other write invalidates facts about that value
+                # (the lock_try branch above already killed-then-bound
+                # facts for its own destination)
+                prefix = "p:" if instr.dst_key and \
+                    instr.dst_key.startswith("p:") else "r:"
+                key = prefix + instr.dst.name
+                preds = kill_key(preds, key)
+                cas_facts = kill_key(cas_facts, key)
+            if instr.opcode is Opcode.EXIT and instr.guard is None:
+                for s, pc in held:
+                    exit_leaks.add((instr.index, s, pc))
+                return []
+
+        last = program.instructions[block.end]
+        state_out = (held, preds, cas_facts)
+        if last.opcode is Opcode.EXIT:
+            # guarded exit: exiting lanes leak, others fall through
+            for s, pc in held:
+                exit_leaks.add((last.index, s, pc))
+            return [(s, state_out) for s in block.successors]
+        if not (last.is_conditional_branch and last.guard is not None):
+            return [(s, state_out) for s in block.successors]
+        # Refine along the two edges of a conditional branch whose
+        # guard is bound to a lock-acquire outcome.
+        guard_key = "p:" + last.guard.name
+        bound = [f for f in preds if f[0] == guard_key]
+        taken = program.block_of(last.target_index).index
+        out = []
+        for succ in block.successors:
+            edge_held = held
+            # guard truth on this edge: taken edge sees guard == (not
+            # negated); the fall-through edge sees the complement.  When
+            # target == fall-through both collapse to one edge and no
+            # refinement applies.
+            is_taken_edge = succ == taken
+            guard_true = (not last.guard_negated) if is_taken_edge \
+                else last.guard_negated
+            for _, sym_f, true_means_held, acq_pc in bound:
+                holds = guard_true == true_means_held
+                if holds:
+                    edge_held = edge_held | {(sym_f, acq_pc)}
+            out.append((succ, (edge_held, preds, cas_facts)))
+        return out
+
+    work: List[Tuple[int, _State]] = [(0, empty)]
+    processed: Set[Tuple[int, _State]] = set()
+    while work:
+        block_index, state = work.pop()
+        if (block_index, state) in processed:
+            continue
+        processed.add((block_index, state))
+        for succ, succ_state in transfer(block_index, state):
+            states = block_states.setdefault(succ, set())
+            if succ_state not in states and len(states) < _MAX_STATES:
+                states.add(succ_state)
+                work.append((succ, succ_state))
+
+    for pc in sorted(release_seen):
+        if True not in release_seen[pc]:
+            sym = _lock_symbol(_mem_operand(program.instructions[pc]))
+            diagnostics.append(_diag(
+                kernel, "LOCK002", "error", pc,
+                f"release of lock [{sym}] that no path can hold here",
+                hint="the release is reachable without a successful "
+                     "!lock_try acquire of the same address — check the "
+                     "branch structure around the acquire",
+                symbol=sym,
+            ))
+    for pc in sorted(reacquire_seen):
+        syms = ", ".join(sorted(reacquire_seen[pc]))
+        diagnostics.append(_diag(
+            kernel, "LOCK004", "warning", pc,
+            f"re-acquiring lock [{syms}] while a path already holds it",
+            hint="spinning on a lock this lane holds can never succeed "
+                 "— guaranteed livelock on a blocking acquire",
+        ))
+    for pc, sym, acq_pc in sorted(exit_leaks):
+        diagnostics.append(_diag(
+            kernel, "LOCK003", "error", acq_pc,
+            f"lock [{sym}] acquired here may still be held at thread "
+            f"exit (pc {pc})",
+            hint="every path from the acquire must release before exit; "
+                 "other warps spinning on this lock will livelock",
+            exit_pc=pc, symbol=sym,
+        ))
+    return diagnostics
+
+
+def _check_barriers(program: Program, kernel: str) -> List[Diagnostic]:
+    out = []
+    _, divergent = dataflow.uniformity(program)
+    flagged: Set[int] = set()
+    for branch_pc in sorted(divergent):
+        region = dataflow.divergent_region(program, branch_pc)
+        for b in region:
+            block = program.blocks[b]
+            for instr in program.instructions[block.start:block.end + 1]:
+                if instr.opcode is Opcode.BAR_SYNC \
+                        and instr.index not in flagged:
+                    flagged.add(instr.index)
+                    out.append(_diag(
+                        kernel, "BAR001", "error", instr.index,
+                        f"bar.sync is reachable under divergence created "
+                        f"by the branch at pc {branch_pc}",
+                        hint="a partial warp arriving at a barrier "
+                             "deadlocks the CTA on stack-based SIMT "
+                             "hardware; hoist the barrier to converged "
+                             "control flow",
+                        branch_pc=branch_pc,
+                    ))
+    return out
+
+
+def _check_registers(program: Program, kernel: str) -> List[Diagnostic]:
+    out = []
+    for pc, key in dataflow.use_before_def(program):
+        kind = "predicate" if key.startswith("p:") else "register"
+        name = key[2:]
+        out.append(_diag(
+            kernel, "REG001", "error", pc,
+            f"{kind} %{name} may be read before any definition",
+            hint="initialize it on every path from kernel entry",
+            value=key,
+        ))
+    return out
+
+
+def _check_cfg(program: Program, kernel: str) -> List[Diagnostic]:
+    out = []
+    for b in sorted(dataflow.unreachable_blocks(program)):
+        block = program.blocks[b]
+        out.append(_diag(
+            kernel, "CFG001", "warning", block.start,
+            f"basic block {b} (pc {block.start}..{block.end}) is "
+            f"unreachable from kernel entry",
+            hint="dead code, or a branch target typo",
+            block=b,
+        ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Entry points
+
+def lint_program(program: Program,
+                 kernel: Optional[str] = None) -> LintReport:
+    """Run every static pass over an assembled program."""
+    name = kernel or program.name
+    findings: List[Diagnostic] = []
+    findings += _check_cfg(program, name)
+    findings += _check_registers(program, name)
+    findings += _check_sibs(program, name)
+    findings += _lockset_pass(program, name)
+    findings += _check_barriers(program, name)
+
+    report = LintReport(
+        kernel=name,
+        sib_candidates=sorted(sib_candidates(program)),
+        sib_oracle=sorted(static_sib_oracle(program)),
+    )
+    seen: Set[Tuple[str, int, str]] = set()
+    for diag in findings:
+        dedup = (diag.id, diag.pc, diag.message)
+        if dedup in seen:
+            continue
+        seen.add(dedup)
+        waived = (
+            0 <= diag.pc < len(program.instructions)
+            and program.instructions[diag.pc].has_role(
+                waiver_role(diag.id))
+        )
+        (report.waived if waived else report.diagnostics).append(diag)
+    order = {"error": 0, "warning": 1, "info": 2}
+    report.diagnostics.sort(key=lambda d: (order[d.severity], d.id, d.pc))
+    return report
+
+
+def lint_kernel(name: str, params: Optional[Dict[str, int]] = None
+                ) -> LintReport:
+    """Build a registered kernel (default parameters unless overridden)
+    and lint its program."""
+    from repro.kernels import build
+
+    workload = build(name, **(params or {}))
+    return lint_program(workload.launch.program, kernel=name)
+
+
+def lint_all(params: Optional[Dict[str, Dict[str, int]]] = None
+             ) -> Dict[str, LintReport]:
+    """Lint every registered kernel; ``params`` maps kernel name to
+    parameter overrides."""
+    from repro.kernels import kernel_names
+
+    params = params or {}
+    return {
+        name: lint_kernel(name, params.get(name))
+        for name in kernel_names()
+    }
+
+
+def score_against_oracle(program: Program,
+                         detected: Iterable[int]) -> Dict[str, Any]:
+    """Diff DDOS runtime detections against the static SIB oracle.
+
+    Mirrors the paper's Table I metrics with the *static* ground truth
+    in place of the ``!sib`` annotations: TSDR = detected true SIBs /
+    oracle SIBs, FSDR = detected non-SIB backward branches / non-SIB
+    backward branches.
+    """
+    oracle = static_sib_oracle(program)
+    detected = set(detected)
+    backward = program.backward_branches()
+    false_candidates = backward - oracle
+    detected_true = detected & oracle
+    detected_false = detected & false_candidates
+    return {
+        "oracle": sorted(oracle),
+        "detected": sorted(detected),
+        "true_detected": sorted(detected_true),
+        "false_detected": sorted(detected_false),
+        "tsdr": (len(detected_true) / len(oracle)) if oracle else 1.0,
+        "fsdr": (len(detected_false) / len(false_candidates))
+                if false_candidates else 0.0,
+    }

@@ -76,6 +76,7 @@ def simulate(
     engine: str = "fast",
     validate: bool = True,
     obs=None,
+    sanitize=None,
 ) -> SimResult:
     """Simulate ``target`` and return its :class:`SimResult`.
 
@@ -107,6 +108,11 @@ def simulate(
             and time series come back on ``result.obs``; collection
             never changes simulated behavior (statistics stay bitwise
             identical).
+        sanitize: dynamic synchronization sanitizer — ``True`` for the
+            defaults, a :class:`repro.analysis.SanitizerConfig` to tune,
+            or a prepared :class:`repro.analysis.Sanitizer`.  Findings
+            come back on ``result.sanitizer`` (see ``docs/analysis.md``);
+            like obs, it never changes simulated behavior.
 
     Returns:
         The :class:`SimResult`, whose ``stats.summary()`` is the stable
@@ -138,7 +144,7 @@ def simulate(
             )
         workload.consumed = True
         gpu = GPU(config, memory=workload.memory, tracer=tracer,
-                  engine=engine, obs=obs)
+                  engine=engine, obs=obs, sanitizer=sanitize)
         result = gpu.launch(workload.launch)
         if validate and not config.magic_locks:
             workload.validate(result.memory)
@@ -160,5 +166,6 @@ def simulate(
     if not isinstance(target, KernelLaunch):
         raise TypeError(f"cannot simulate target {target!r}")
 
-    gpu = GPU(config, memory=memory, tracer=tracer, engine=engine, obs=obs)
+    gpu = GPU(config, memory=memory, tracer=tracer, engine=engine, obs=obs,
+              sanitizer=sanitize)
     return gpu.launch(target)

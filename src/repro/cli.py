@@ -364,6 +364,7 @@ def _cmd_fuzz(args) -> int:
         mem_jitter_cycles=args.mem_jitter,
         rotation_period=args.rotation,
         scale=args.scale,
+        sanitize=args.sanitize,
     )
     workers = args.workers
     if workers is None or workers <= 0:
@@ -378,11 +379,47 @@ def _cmd_fuzz(args) -> int:
     print(report.summary())
     if report.hangs:
         return EXIT_HANG
-    if report.validation_failures:
+    if report.validation_failures or report.races:
         return EXIT_VALIDATION
     if any(f.kind == "infra" for f in report.findings):
         return EXIT_TRANSIENT
     return EXIT_OK
+
+
+def _cmd_lint(args) -> int:
+    import json as json_mod
+
+    from repro.analysis.lint import lint_all, lint_kernel
+
+    if args.all == (args.kernel is not None):
+        print("lint: specify exactly one of KERNEL or --all",
+              file=sys.stderr)
+        return 2
+    params = _parse_params(args.param) or None
+    if args.all:
+        reports = lint_all(
+            {name: params for name in kernel_names()} if params else None
+        )
+    else:
+        reports = {args.kernel: lint_kernel(args.kernel, params)}
+
+    failed = any(not rep.ok for rep in reports.values())
+    if args.format == "json":
+        payload = {
+            "ok": not failed,
+            "kernels": {name: rep.to_dict() for name, rep in
+                        sorted(reports.items())},
+        }
+        text = json_mod.dumps(payload, indent=2, sort_keys=True)
+    else:
+        text = "\n".join(rep.render() for _, rep in sorted(reports.items()))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"[lint report written to {args.out}]")
+    else:
+        print(text)
+    return EXIT_FAILURE if failed else EXIT_OK
 
 
 def _cmd_bench(args) -> int:
@@ -591,6 +628,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                       help="progress-monitor sample period")
     fuzz.add_argument("--invariants", action="store_true",
                       help="enable invariant checks during fuzz runs")
+    fuzz.add_argument("--sanitize", action="store_true",
+                      help="attach the dynamic sanitizer to every seed; "
+                           "completed-but-racy schedules become 'race' "
+                           "findings (exit 4)")
+
+    lint = sub.add_parser(
+        "lint",
+        help="static kernel lint: spin/SIB classification, lock "
+             "discipline, divergent barriers, dataflow checks",
+    )
+    lint.add_argument("kernel", nargs="?", choices=kernel_names(),
+                      default=None,
+                      help="kernel to lint (omit with --all)")
+    lint.add_argument("--all", action="store_true",
+                      help="lint every registered kernel")
+    lint.add_argument("--param", action="append", default=[],
+                      metavar="NAME=VALUE",
+                      help="workload parameter override (repeatable)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="output format (json is the Table I "
+                           "static-oracle source; see EXPERIMENTS.md)")
+    lint.add_argument("--out", default=None, metavar="PATH",
+                      help="write the report to PATH instead of stdout")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -603,6 +663,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_profile(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "sweep":

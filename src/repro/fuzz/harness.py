@@ -40,10 +40,10 @@ VALIDATION_ERRORS = ("WorkloadError",)
 
 @dataclass
 class FuzzFinding:
-    """One seed that hanged or produced a wrong answer."""
+    """One seed that hanged, raced, or produced a wrong answer."""
 
     seed: int
-    #: "livelock" | "deadlock" | "validation" | "infra".
+    #: "livelock" | "deadlock" | "race" | "validation" | "infra".
     kind: str
     error_type: str
     message: str
@@ -52,6 +52,10 @@ class FuzzFinding:
     #: Inline HangReport JSON for hangs (None for validation findings).
     hang: Optional[Dict[str, Any]] = None
     perturb: Dict[str, Any] = field(default_factory=dict)
+    #: Sanitizer diagnostics (serialized) for "race" findings — the run
+    #: *completed* but the sanitizer flagged synchronization errors,
+    #: which distinguishes a racy schedule from a hanging one.
+    diagnostics: List[Dict[str, Any]] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -79,6 +83,10 @@ class FuzzReport:
     @property
     def hangs(self) -> List[FuzzFinding]:
         return [f for f in self.findings if f.kind in ("livelock", "deadlock")]
+
+    @property
+    def races(self) -> List[FuzzFinding]:
+        return [f for f in self.findings if f.kind == "race"]
 
     @property
     def validation_failures(self) -> List[FuzzFinding]:
@@ -132,6 +140,7 @@ class FuzzReport:
             f"fuzz {self.kernel!r}: {len(self.seeds)} seed(s), "
             f"{len(self.clean)} clean, {len(self.exhausted)} "
             f"budget-exhausted, {len(self.hangs)} hang(s), "
+            f"{len(self.races)} race(s), "
             f"{len(self.validation_failures)} validation failure(s)"
         ]
         for finding in self.findings:
@@ -166,6 +175,10 @@ class ScheduleFuzzer:
             magnitudes (see :class:`~repro.sim.config.PerturbConfig`).
         validate: run functional validation on completing seeds, so the
             fuzzer also catches schedule-dependent wrong answers.
+        sanitize: attach the dynamic sanitizer
+            (:mod:`repro.analysis.sanitizer`) to every seed; completing
+            runs with sanitizer findings become ``"race"`` findings,
+            distinguishing racy schedules from hanging ones.
     """
 
     def __init__(
@@ -181,6 +194,7 @@ class ScheduleFuzzer:
         rotation_period: int = 401,
         validate: bool = True,
         scale: str = "quick",
+        sanitize: bool = False,
     ) -> None:
         if base_config is None:
             base_config = GPUConfig.preset("fermi", scheduler="gto")
@@ -203,6 +217,7 @@ class ScheduleFuzzer:
         self.mem_jitter_cycles = mem_jitter_cycles
         self.rotation_period = rotation_period
         self.validate = validate
+        self.sanitize = sanitize
         self.base_config = base_config
 
     # ------------------------------------------------------------------
@@ -224,11 +239,16 @@ class ScheduleFuzzer:
             no_progress_window=self.watchdog,
             progress_epoch=self.progress_epoch,
         )
+        sanitize = None
+        if self.sanitize:
+            from repro.analysis.sanitizer import SanitizerConfig
+            sanitize = SanitizerConfig()
         return RunSpec(
             kernel=self.kernel,
             config=config,
             params=dict(self.params),
             validate=self.validate,
+            sanitize=sanitize,
             label=f"{self.kernel}[seed={seed}]",
         )
 
@@ -255,7 +275,23 @@ class ScheduleFuzzer:
         )
         for seed, outcome in zip(seeds, batch.results):
             if outcome.ok:
-                report.clean.append(seed)
+                diags = ((outcome.sanitizer or {}).get("diagnostics")
+                         if outcome.sanitizer is not None else None)
+                if diags:
+                    # Completed, but the sanitizer flagged sync errors
+                    # under this schedule: a race, not a hang.
+                    report.findings.append(FuzzFinding(
+                        seed=seed,
+                        kind="race",
+                        error_type="SanitizerFinding",
+                        message=diags[0].get("message", ""),
+                        spec_hash=outcome.spec_hash,
+                        label=outcome.label or "",
+                        perturb=dataclasses.asdict(self.perturb_for(seed)),
+                        diagnostics=list(diags),
+                    ))
+                else:
+                    report.clean.append(seed)
                 continue
             kind = self._classify(outcome)
             if kind == "exhausted":

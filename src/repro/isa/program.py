@@ -88,6 +88,87 @@ class Program:
     def backward_branches(self) -> Set[int]:
         return {i.index for i in self.instructions if i.is_backward_branch}
 
+    # -- loop structure -------------------------------------------------
+
+    def back_edges(self) -> Set[Tuple[int, int]]:
+        """CFG back edges as ``(tail_block, head_block)`` pairs.
+
+        An edge is a back edge iff its head *dominates* its tail in the
+        forward CFG rooted at block 0.  Every block dominates itself, so
+        a single-block self-loop contributes the edge ``(b, b)`` — the
+        same loop that the instruction-level view reports through
+        :meth:`backward_branches` (whose ``target_index <= index`` test
+        admits the equality case).  Before this method existed the two
+        views disagreed on single-block self-loops depending on which
+        one a caller consulted; this is the normalized, dominance-based
+        answer.  Unreachable blocks have no dominator and contribute no
+        back edges.
+        """
+        graph = self._cfg()
+        idom = nx.immediate_dominators(graph, 0)
+        edges: Set[Tuple[int, int]] = set()
+        for block in self.blocks:
+            for succ in block.successors:
+                if self._dominates(succ, block.index, idom):
+                    edges.add((block.index, succ))
+        return edges
+
+    @staticmethod
+    def _dominates(a: int, b: int, idom: Dict) -> bool:
+        """Does block ``a`` dominate block ``b`` (per an idom tree)?"""
+        node = b
+        while True:
+            if node == a:
+                return True
+            parent = idom.get(node)
+            if parent is None or parent == node:
+                return False
+            node = parent
+
+    def loop_back_branches(self) -> Set[int]:
+        """Instruction indices of branches that close a natural loop.
+
+        A subset of :meth:`backward_branches`: a dominance back edge in
+        a program laid out by the assembler always targets an
+        instruction at or before the branch, but an index-backward
+        branch into a block that does *not* dominate it (a cross edge
+        in irreducible control flow) is excluded here.
+        """
+        out: Set[int] = set()
+        for tail, head in self.back_edges():
+            last = self.instructions[self.blocks[tail].end]
+            if last.is_branch and last.target_index == self.blocks[head].start:
+                out.add(last.index)
+        return out
+
+    def natural_loop(self, tail: int, head: int) -> Set[int]:
+        """Block indices of the natural loop of back edge ``(tail, head)``.
+
+        The loop body is ``head`` plus every block that can reach
+        ``tail`` without passing through ``head``.  For a self-loop
+        (``tail == head``) the body is the single block.
+        """
+        preds: Dict[int, List[int]] = {b.index: [] for b in self.blocks}
+        for block in self.blocks:
+            for succ in block.successors:
+                preds[succ].append(block.index)
+        loop = {head, tail}
+        stack = [tail] if tail != head else []
+        while stack:
+            node = stack.pop()
+            for pred in preds[node]:
+                if pred not in loop:
+                    loop.add(pred)
+                    stack.append(pred)
+        return loop
+
+    def natural_loops(self) -> Dict[Tuple[int, int], Set[int]]:
+        """Every natural loop keyed by its ``(tail, head)`` back edge."""
+        return {
+            (tail, head): self.natural_loop(tail, head)
+            for tail, head in self.back_edges()
+        }
+
     def registers(self) -> Set[str]:
         """Names of all general-purpose registers the program touches."""
         from repro.isa.instructions import Mem, Reg

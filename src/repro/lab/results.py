@@ -60,6 +60,9 @@ class RunResult:
     #: when the spec requested collection: event counts + bounded log,
     #: sampled time series.
     obs: Optional[Dict[str, Any]] = None
+    #: Sanitizer payload (:meth:`repro.analysis.Sanitizer.to_dict`) when
+    #: the spec requested sanitizing: counters + diagnostics.
+    sanitizer: Optional[Dict[str, Any]] = None
     attempts: int = 1
     from_cache: bool = False
     label: Optional[str] = None
@@ -76,6 +79,7 @@ class RunResult:
             "elapsed_s": self.elapsed_s,
             "phases": self.phases,
             "obs": self.obs,
+            "sanitizer": self.sanitizer,
         }
 
     @classmethod
@@ -89,6 +93,7 @@ class RunResult:
             elapsed_s=data.get("elapsed_s", 0.0),
             phases=data.get("phases"),
             obs=data.get("obs"),
+            sanitizer=data.get("sanitizer"),
         )
 
 

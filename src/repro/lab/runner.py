@@ -77,12 +77,16 @@ def execute_run(spec: RunSpec) -> RunResult:
     if spec.obs is not None:
         from repro.obs import Observability
         obs = Observability(spec.obs)
+    sanitizer = None
+    if spec.sanitize is not None:
+        from repro.analysis.sanitizer import Sanitizer
+        sanitizer = Sanitizer(spec.sanitize)
 
     start = time.perf_counter()
     workload = build_workload(spec.kernel, **spec.build_params())
     built = time.perf_counter()
     sim = simulate(workload, config=spec.config, validate=spec.validate,
-                   engine=spec.engine, obs=obs)
+                   engine=spec.engine, obs=obs, sanitize=sanitizer)
     simulated = time.perf_counter()
 
     ddos_outcome = None
@@ -107,6 +111,7 @@ def execute_run(spec: RunSpec) -> RunResult:
         # on-disk cache, so cap the embedded raw log (counts and the
         # time series are complete either way).
         obs=obs.to_dict(max_events=2_000) if obs is not None else None,
+        sanitizer=sanitizer.to_dict() if sanitizer is not None else None,
         label=spec.label,
     )
 
@@ -202,6 +207,11 @@ class BatchReport:
                         "event_total": events.get("total", 0),
                         "event_dropped": events.get("dropped", 0),
                         "series_rows": len(series.get("rows", [])),
+                    }
+                if r.sanitizer is not None:
+                    row["sanitizer"] = {
+                        "ok": r.sanitizer.get("ok", True),
+                        "findings": len(r.sanitizer.get("diagnostics", [])),
                     }
                 rows.append(row)
             else:

@@ -20,6 +20,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
+from repro.analysis.sanitizer import SanitizerConfig
 from repro.obs import ObsConfig
 from repro.sim.config import (BOWSConfig, CacheConfig, DDOSConfig, GPUConfig,
                               PerturbConfig)
@@ -78,6 +79,11 @@ class RunSpec:
     #: what the cached :class:`~repro.lab.results.RunResult` carries, so
     #: a set ``obs`` IS part of the hash (None keeps pre-obs hashes).
     obs: Optional[ObsConfig] = None
+    #: Dynamic sanitizer for this run
+    #: (:class:`repro.analysis.SanitizerConfig`).  Like ``obs``: never
+    #: changes the outcome, but changes what the cached result carries,
+    #: so a set ``sanitize`` IS part of the hash (None keeps old hashes).
+    sanitize: Optional["SanitizerConfig"] = None
     #: Display name for progress/manifests; NOT part of the hash.
     label: Optional[str] = None
 
@@ -100,6 +106,8 @@ class RunSpec:
         # Included only when set so every pre-obs spec hash is unchanged.
         if self.obs is not None:
             data["obs"] = self.obs.to_dict()
+        if self.sanitize is not None:
+            data["sanitize"] = self.sanitize.to_dict()
         return data
 
     @classmethod
@@ -114,6 +122,8 @@ class RunSpec:
             engine=data.get("engine", "fast"),
             obs=(ObsConfig.from_dict(data["obs"])
                  if data.get("obs") else None),
+            sanitize=(SanitizerConfig.from_dict(data["sanitize"])
+                      if data.get("sanitize") else None),
             label=label,
         )
 

@@ -44,6 +44,10 @@ class GlobalMemory:
         #: CAS-fails without ever writing, so a livelocked machine's
         #: version goes flat while a progressing one keeps moving.
         self.version = 0
+        #: Optional observer ``hook(n_words)`` called on every functional
+        #: write (the sanitizer's raw-write coverage counter).  Never
+        #: affects functional state.
+        self.write_hook = None
 
     @property
     def size_bytes(self) -> int:
@@ -69,8 +73,11 @@ class GlobalMemory:
         return self.words[self._index(byte_addrs)]
 
     def write(self, byte_addrs: np.ndarray, values: np.ndarray) -> None:
-        self.words[self._index(byte_addrs)] = np.asarray(values, dtype=np.int64)
+        idx = self._index(byte_addrs)
+        self.words[idx] = np.asarray(values, dtype=np.int64)
         self.version += 1
+        if self.write_hook is not None:
+            self.write_hook(idx.size)
 
     # Convenience scalar/stage helpers for workload setup and validation.
 
@@ -80,6 +87,8 @@ class GlobalMemory:
     def write_word(self, byte_addr: int, value: int) -> None:
         self.words[byte_addr // WORD_BYTES] = value
         self.version += 1
+        if self.write_hook is not None:
+            self.write_hook(1)
 
     def store_array(self, byte_addr: int, values: Sequence[int]) -> None:
         start = byte_addr // WORD_BYTES

@@ -40,6 +40,7 @@ from repro.obs.events import (
     HangSuspected,
     LockAcquireFail,
     LockAcquireSuccess,
+    SanitizerFinding,
     SIBCleared,
     SIBDetected,
     event_from_dict,
@@ -66,6 +67,7 @@ __all__ = [
     "BarrierArrive",
     "BarrierRelease",
     "HangSuspected",
+    "SanitizerFinding",
     "event_to_dict",
     "event_from_dict",
     "format_event",

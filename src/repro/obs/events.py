@@ -151,6 +151,19 @@ class HangSuspected:
     reason: str
 
 
+@dataclass(frozen=True)
+class SanitizerFinding:
+    """The dynamic sanitizer recorded a new diagnostic (first occurrence
+    of a ``SAN*`` id at this pc — see ``docs/analysis.md``)."""
+
+    kind = "sanitizer"
+    cycle: int
+    diag_id: str
+    severity: str
+    pc: int
+    warp_slot: int
+
+
 #: Every event type, in taxonomy order (reporting / docs / tests).
 EVENT_TYPES: Tuple[type, ...] = (
     SIBDetected,
@@ -163,6 +176,7 @@ EVENT_TYPES: Tuple[type, ...] = (
     BarrierArrive,
     BarrierRelease,
     HangSuspected,
+    SanitizerFinding,
 )
 
 #: kind string -> event class (deserialization).

@@ -355,6 +355,11 @@ def _bar_handler(sm, warp, dop, exec_mask, now):
         cycle=now, sm_id=sm.sm_id, cta_id=warp.cta_id,
         warp_slot=warp.warp_slot,
     )
+    if sm.san is not None:
+        sm.san.note_barrier(
+            sm.sm_id, warp.cta_id, warp.warp_in_cta, dop.index, now,
+            warp.stack.depth,
+        )
     sm._barrier_arrive(warp.cta_id, now=now, skip_slot=warp.warp_slot)
 
 
@@ -402,6 +407,7 @@ def _make_load_handler(instr, warp_size):
     dst_keys = (instr.dst_key,)
     bypass = instr.opcode is Opcode.LD_GLOBAL_CG
     sync = instr.has_role("sync")
+    index = instr.index
 
     def handler(sm, warp, dop, exec_mask, now):
         addrs = warp.regs.read(base_name) + offset
@@ -410,6 +416,11 @@ def _make_load_handler(instr, warp_size):
         if active_addrs.size:
             values[exec_mask] = sm.memory.read(active_addrs)
         warp.regs.write(dst_name, values, exec_mask)
+        if sm.san is not None:
+            sm.san.note_load(
+                sm.sm_id, warp.cta_id, warp.warp_in_cta,
+                np.nonzero(exec_mask)[0], active_addrs, index, now,
+            )
         result = sm.memsys.load(sm.sm_id, active_addrs, now,
                                 bypass_l1=bypass, sync=sync)
         warp.scoreboard.reserve(dst_keys, result.completion)
@@ -425,6 +436,7 @@ def _make_store_handler(instr, warp_size, params):
     read_src = _make_reader(instr.srcs[0], warp_size, params)
     sync = instr.has_role("sync")
     lock_release = instr.has_role("lock_release")
+    index = instr.index
 
     def handler(sm, warp, dop, exec_mask, now):
         addrs = warp.regs.read(base_name) + offset
@@ -432,6 +444,12 @@ def _make_store_handler(instr, warp_size, params):
         active_addrs = addrs[exec_mask]
         if active_addrs.size:
             sm.memory.write(active_addrs, values[exec_mask])
+        if sm.san is not None:
+            sm.san.note_store(
+                sm.sm_id, warp.cta_id, warp.warp_in_cta,
+                np.nonzero(exec_mask)[0], active_addrs, index, now,
+                release=lock_release,
+            )
         result = sm.memsys.store(sm.sm_id, active_addrs, now, sync=sync)
         warp.last_store_completion = max(
             warp.last_store_completion, result.completion
@@ -455,6 +473,7 @@ def _make_atomic_handler(instr, warp_size, params):
     is_lock_try = instr.has_role("lock_try")
     lock_release = instr.has_role("lock_release")
     sync = instr.has_role("sync") or is_lock_try
+    index = instr.index
     dst_name = instr.dst.name if instr.dst is not None else None
     dst_keys = (instr.dst_key,) if instr.dst_key is not None else ()
 
@@ -496,6 +515,21 @@ def _make_atomic_handler(instr, warp_size, params):
                 )
             if lock_release:
                 sm.lock_table.pop(addr, None)
+            if sm.san is not None:
+                # magic mode already forced ``old = compare`` above, so
+                # the CAS-success test below covers it too.
+                cas_hit = (op is Opcode.ATOM_CAS
+                           and old == int(operands[0][lane]))
+                sm.san.note_atomic(
+                    sm.sm_id, warp.cta_id, warp.warp_in_cta, int(lane),
+                    addr, index, now,
+                    lock_try=is_lock_try,
+                    success=is_lock_try
+                    and (cas_hit or op is not Opcode.ATOM_CAS),
+                    release=lock_release,
+                    wrote=op is not Opcode.ATOM_CAS
+                    or (cas_hit and not magic),
+                )
 
         if dst_name is not None:
             warp.regs.write(dst_name, old_values, exec_mask)

@@ -68,6 +68,10 @@ class SimResult:
     #: Attached :class:`repro.obs.Observability` (event bus + time
     #: series) when the run collected any; None otherwise.
     obs: Optional[Observability] = None
+    #: Attached :class:`repro.analysis.Sanitizer` when the run executed
+    #: with ``sanitize=``; None otherwise.  Inspect ``.diagnostics`` /
+    #: ``.ok`` / ``.render()``.
+    sanitizer: Optional[object] = None
 
     @property
     def ddos_engines(self):
@@ -86,7 +90,8 @@ class GPU:
 
     def __init__(self, config: GPUConfig,
                  memory: Optional[GlobalMemory] = None,
-                 tracer=None, engine: str = "fast", obs=None) -> None:
+                 tracer=None, engine: str = "fast", obs=None,
+                 sanitizer=None) -> None:
         if engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {engine!r}; choose from {ENGINES}"
@@ -99,6 +104,13 @@ class GPU:
         #: or an :class:`repro.obs.ObsConfig` as shorthand): collects
         #: decision events and interval time series during launches.
         self.obs = as_observability(obs)
+        #: Optional :class:`repro.analysis.Sanitizer` (accepts ``True``
+        #: or a :class:`repro.analysis.SanitizerConfig` as shorthand):
+        #: execution-time synchronization checking.  A pure observer —
+        #: stats are bitwise identical with it on or off.
+        from repro.analysis.sanitizer import as_sanitizer
+
+        self.sanitizer = as_sanitizer(sanitizer)
         #: ``"fast"`` (pre-decoded, event-driven readiness — the default)
         #: or ``"reference"`` (the seed per-cycle re-scan implementation).
         #: Both produce bitwise-identical statistics; see
@@ -112,6 +124,10 @@ class GPU:
         memsys = MemorySubsystem(config)
         obs = self.obs
         bus = obs.bus if obs is not None else None
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            sanitizer.begin_run(launch.program.name, bus=bus)
+            sanitizer.attach_memory(self.memory)
         lock_table: Dict[int, Tuple[WarpKey, int]] = {}
         sms = [
             SM(
@@ -126,6 +142,7 @@ class GPU:
                 tracer=self.tracer,
                 engine=self.engine,
                 bus=bus,
+                sanitizer=sanitizer,
             )
             for i in range(config.num_sms)
         ]
@@ -238,4 +255,5 @@ class GPU:
             launch=launch,
             sms=sms,
             obs=obs,
+            sanitizer=sanitizer,
         )

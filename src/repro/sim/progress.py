@@ -126,9 +126,13 @@ class HangReport:
     #: events) when an event bus was attached — what DDOS/BOWS and the
     #: lock/barrier machinery decided right before the hang.
     events_tail: List[str] = field(default_factory=list)
+    #: Sanitizer findings (serialized repro.analysis Diagnostics) when
+    #: the run had the dynamic sanitizer attached — a race detected
+    #: before the hang usually *explains* the hang.
+    diagnostics: List[Dict[str, Any]] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "kind": self.kind,
             "cycle": self.cycle,
             "window": self.window,
@@ -140,6 +144,9 @@ class HangReport:
             "trace_tail": list(self.trace_tail),
             "events_tail": list(self.events_tail),
         }
+        if self.diagnostics:
+            data["diagnostics"] = [dict(d) for d in self.diagnostics]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "HangReport":
@@ -154,6 +161,7 @@ class HangReport:
             digests=dict(data.get("digests", {})),
             trace_tail=list(data.get("trace_tail", [])),
             events_tail=list(data.get("events_tail", [])),
+            diagnostics=list(data.get("diagnostics", [])),
         )
 
     # -- presentation ---------------------------------------------------
@@ -205,6 +213,13 @@ class HangReport:
             lines.append("last scheduler/sync decisions:")
             for line in self.events_tail[-8:]:
                 lines.append(f"  {line}")
+        if self.diagnostics:
+            lines.append("sanitizer findings before the hang:")
+            for d in self.diagnostics[:8]:
+                lines.append(
+                    f"  {d.get('id', '?')} at pc {d.get('pc', '?')}: "
+                    f"{d.get('message', '')}"
+                )
         if self.kind == "deadlock":
             lines.append(
                 "hint: a warp blocked forever at a barrier or reconvergence "
@@ -341,10 +356,16 @@ def build_hang_report(
         from repro.obs.events import format_event
         events_tail = [format_event(e) for e in bus.tail(20)]
 
+    diagnostics: List[Dict[str, Any]] = []
+    sanitizer = sms[0].san if sms else None
+    if sanitizer is not None:
+        diagnostics = [d.to_dict() for d in sanitizer.diagnostics]
+
     return HangReport(
         kind=kind, cycle=now, window=window, reason=reason,
         warps=warps, barriers=barriers, locks=locks,
         digests=digests, trace_tail=tail, events_tail=events_tail,
+        diagnostics=diagnostics,
     )
 
 

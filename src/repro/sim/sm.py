@@ -96,6 +96,7 @@ class SM:
         tracer=None,
         engine: str = "reference",
         bus=None,
+        sanitizer=None,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(
@@ -110,6 +111,9 @@ class SM:
         self.memsys = memsys
         self.lock_table = lock_table
         self.stats = stats
+        #: Dynamic sanitizer (None when off — every hook site guards on
+        #: ``self.san is not None`` so the hot path pays one test).
+        self.san = sanitizer
 
         self.warps: Dict[int, Warp] = {}
         self._free_slots: List[int] = list(range(config.max_warps_per_sm))
@@ -510,6 +514,11 @@ class SM:
                 cycle=now, sm_id=self.sm_id, cta_id=warp.cta_id,
                 warp_slot=warp.warp_slot,
             )
+            if self.san is not None:
+                self.san.note_barrier(
+                    self.sm_id, warp.cta_id, warp.warp_in_cta,
+                    instr.index, now, warp.stack.depth,
+                )
             self._barrier_arrive(warp.cta_id, now=now)
         elif op is Opcode.MEMBAR:
             warp.membar_until = max(now + 1, warp.last_store_completion)
@@ -671,6 +680,11 @@ class SM:
         if active_addrs.size:
             values[exec_mask] = self.memory.read(active_addrs)
         warp.regs.write(instr.dst.name, values, exec_mask)
+        if self.san is not None:
+            self.san.note_load(
+                self.sm_id, warp.cta_id, warp.warp_in_cta,
+                np.nonzero(exec_mask)[0], active_addrs, instr.index, now,
+            )
         bypass = instr.opcode is Opcode.LD_GLOBAL_CG
         result = self.memsys.load(
             self.sm_id, active_addrs, now,
@@ -687,6 +701,12 @@ class SM:
         active_addrs = addrs[exec_mask]
         if active_addrs.size:
             self.memory.write(active_addrs, values[exec_mask])
+        if self.san is not None:
+            self.san.note_store(
+                self.sm_id, warp.cta_id, warp.warp_in_cta,
+                np.nonzero(exec_mask)[0], active_addrs, instr.index, now,
+                release=instr.has_role("lock_release"),
+            )
         result = self.memsys.store(
             self.sm_id, active_addrs, now, sync=instr.has_role("sync")
         )
@@ -741,6 +761,21 @@ class SM:
                 )
             if instr.has_role("lock_release"):
                 self.lock_table.pop(addr, None)
+            if self.san is not None:
+                # magic mode already forced ``old = compare`` above, so
+                # the CAS-success test below covers it too.
+                cas_hit = (op is Opcode.ATOM_CAS
+                           and old == int(operands[0][lane]))
+                self.san.note_atomic(
+                    self.sm_id, warp.cta_id, warp.warp_in_cta, int(lane),
+                    addr, instr.index, now,
+                    lock_try=is_lock_try,
+                    success=is_lock_try
+                    and (cas_hit or op is not Opcode.ATOM_CAS),
+                    release=instr.has_role("lock_release"),
+                    wrote=op is not Opcode.ATOM_CAS
+                    or (cas_hit and not magic),
+                )
 
         if instr.dst is not None:
             warp.regs.write(instr.dst.name, old_values, exec_mask)
@@ -811,6 +846,8 @@ class SM:
                 cycle=now, sm_id=self.sm_id, cta_id=cta_id,
                 released=len(waiting),
             )
+            if self.san is not None:
+                self.san.note_barrier_release(cta_id, now)
             for w in waiting:
                 w.at_barrier = False
                 # Fast engine: released warps become schedulable at once,

@@ -1,0 +1,5 @@
+// CFG001: the mov block is unreachable from kernel entry.
+    bra END
+    mov %r_dead, 1
+END:
+    exit

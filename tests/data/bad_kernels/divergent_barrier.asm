@@ -1,0 +1,6 @@
+// BAR001: bar.sync reachable under divergence created by a %gtid branch.
+    setp.eq %p1, %gtid, 0
+    @%p1 bra SKIP
+    bar.sync
+SKIP:
+    exit

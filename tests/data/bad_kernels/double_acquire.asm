@@ -1,0 +1,12 @@
+// LOCK004: blocking re-acquire of a lock this lane already holds.
+    mov %r_lock, 64
+SPIN1:
+    atom.cas %r_old, [%r_lock], 0, 1 !lock_try
+    setp.ne %p1, %r_old, 0
+    @%p1 bra SPIN1 !sib
+SPIN2:
+    atom.cas %r_old, [%r_lock], 0, 1 !lock_try
+    setp.ne %p1, %r_old, 0
+    @%p1 bra SPIN2 !sib
+    atom.exch %r_ig, [%r_lock], 0 !lock_release
+    exit

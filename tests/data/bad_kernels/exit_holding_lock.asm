@@ -1,0 +1,12 @@
+// LOCK003: one path (through SKIP) exits while still holding the lock.
+    mov %r_lock, 64
+    mov %r_sel, 0
+SPIN:
+    atom.cas %r_old, [%r_lock], 0, 1 !lock_try
+    setp.ne %p1, %r_old, 0
+    @%p1 bra SPIN !sib
+    setp.eq %p2, %r_sel, 0
+    @%p2 bra SKIP
+    atom.exch %r_ig, [%r_lock], 0 !lock_release
+SKIP:
+    exit

@@ -1,0 +1,7 @@
+// LOCK001 (+LOCK003): the lock is acquired but no release exists anywhere.
+    mov %r_lock, 64
+SPIN:
+    atom.cas %r_old, [%r_lock], 0, 1 !lock_try
+    setp.ne %p1, %r_old, 0
+    @%p1 bra SPIN !sib
+    exit

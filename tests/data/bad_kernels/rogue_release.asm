@@ -1,0 +1,4 @@
+// LOCK002: releases a lock that no path can hold here.
+    mov %r_lock, 64
+    atom.exch %r_ig, [%r_lock], 0 !lock_release
+    exit

@@ -1,0 +1,9 @@
+// SIB002: the loop stores every iteration (forward progress) yet claims !sib.
+    mov %r_i, 0
+    mov %r_out, 64
+LOOP:
+    add %r_i, %r_i, 1
+    st.global [%r_out], %r_i
+    setp.lt %p1, %r_i, 10
+    @%p1 bra LOOP !sib
+    exit

@@ -1,0 +1,7 @@
+// SIB001: polls a global flag forever but the closing branch has no !sib.
+    mov %r_flag_addr, 64
+SPIN:
+    ld.global %r_v, [%r_flag_addr]
+    setp.eq %p1, %r_v, 0
+    @%p1 bra SPIN
+    exit

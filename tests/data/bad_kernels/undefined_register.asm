@@ -1,0 +1,3 @@
+// REG001: %r_never_set is read before any definition.
+    add %r_sum, %r_never_set, 1
+    exit

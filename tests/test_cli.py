@@ -204,3 +204,84 @@ def test_fuzz_hang_exits_3(capsys, monkeypatch):
     out = capsys.readouterr().out
     assert "1 hang(s)" in out
     assert "--seed-base 0" in out
+
+
+def test_fuzz_sanitize_race_exits_4(capsys, monkeypatch):
+    """--sanitize runs the dynamic sanitizer per seed; a completed run
+    with findings is a 'race', reported as a validation failure."""
+    from repro.fuzz import harness as fuzz_harness
+
+    original = fuzz_harness.ScheduleFuzzer.run
+
+    def run_with_stub(self, seeds, runner=None, shrink=True):
+        from repro.lab import Runner as LabRunner
+        from repro.lab.results import RunResult
+        from repro.metrics.stats import SimStats
+
+        assert self.sanitize  # --sanitize reached the fuzzer
+
+        def racy(spec):
+            assert spec.sanitize is not None
+            return RunResult(
+                spec_hash=spec.content_hash(), cycles=5,
+                stats=SimStats(cycles=5),
+                sanitizer={"ok": False, "diagnostics": [
+                    {"id": "SAN001", "pc": 3, "severity": "error",
+                     "message": "write-write race"},
+                ]})
+
+        return original(self, seeds,
+                        runner=LabRunner(workers=1, run_fn=racy),
+                        shrink=shrink)
+
+    monkeypatch.setattr(fuzz_harness.ScheduleFuzzer, "run", run_with_stub)
+    code = main(["fuzz", "vecadd", "--seeds", "1", "--sanitize",
+                 "--param", "n_threads=64"])
+    assert code == EXIT_VALIDATION
+    assert "1 race(s)" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# The lint command
+
+
+def test_lint_single_kernel(capsys):
+    assert main(["lint", "ht"]) == 0
+    out = capsys.readouterr().out
+    assert "lint ht: OK" in out
+    assert "static SIBs: [33]" in out
+
+
+def test_lint_all_kernels_json(tmp_path, capsys):
+    import json
+
+    out_path = str(tmp_path / "lint.json")
+    assert main(["lint", "--all", "--format", "json",
+                 "--out", out_path]) == 0
+    capsys.readouterr()
+    payload = json.loads(open(out_path).read())
+    assert payload["ok"] is True
+    from repro.kernels import kernel_names
+    assert set(payload["kernels"]) == set(kernel_names())
+    for report in payload["kernels"].values():
+        assert report["ok"] and report["diagnostics"] == []
+
+
+def test_lint_requires_exactly_one_target(capsys):
+    assert main(["lint"]) == 2
+    assert main(["lint", "ht", "--all"]) == 2
+
+
+def test_lint_failure_exits_1(capsys, monkeypatch):
+    import repro.cli as cli
+    from repro.analysis import Diagnostic
+    from repro.analysis.lint import LintReport
+
+    def rigged(name, params=None):
+        return LintReport(kernel=name, diagnostics=[Diagnostic(
+            id="REG001", severity="error", kernel=name, pc=0,
+            message="bad")])
+
+    monkeypatch.setattr("repro.analysis.lint.lint_kernel", rigged)
+    assert main(["lint", "ht"]) == 1
+    assert "REG001" in capsys.readouterr().out

@@ -18,16 +18,29 @@ def load_example(name: str):
     return module
 
 
+ALL_EXAMPLES = (
+    "quickstart", "spin_detection", "scheduler_comparison",
+    "contention_sweep", "custom_kernel", "adaptive_trace", "lint_kernel",
+)
+
+
 def test_all_examples_exist_and_have_main():
-    expected = {
-        "quickstart", "spin_detection", "scheduler_comparison",
-        "contention_sweep", "custom_kernel", "adaptive_trace",
-    }
     found = {p.stem for p in EXAMPLES.glob("*.py")}
-    assert expected <= found
-    for name in expected:
+    assert set(ALL_EXAMPLES) <= found
+    for name in ALL_EXAMPLES:
         module = load_example(name)
         assert callable(module.main)
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_doctests_pass(name):
+    """Docstring snippets stay truthful (CI also runs python -m doctest
+    over examples/ — this is the same check inside tier-1)."""
+    import doctest
+
+    module = load_example(name)
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{name}: {result.failed} doctest failure(s)"
 
 
 def test_custom_kernel_example_runs(capsys):
@@ -41,3 +54,10 @@ def test_spin_detection_example_runs(capsys):
     load_example("spin_detection").main()
     out = capsys.readouterr().out
     assert "Table I story" in out
+
+
+def test_lint_kernel_example_runs(capsys):
+    load_example("lint_kernel").main()
+    out = capsys.readouterr().out
+    assert "SIB001" in out and "LOCK003" in out
+    assert "counter_fixed: OK" in out

@@ -89,3 +89,18 @@ def test_engines_identical_on_pascal_preset():
     reference = _run("ht", config, "reference")
     fast = _run("ht", config, "fast")
     assert fast.stats.summary() == reference.stats.summary()
+
+
+@pytest.mark.parametrize("kernel", ["ht", "nw1"])
+def test_sanitizer_is_invisible_to_the_golden_contract(kernel):
+    """The dynamic sanitizer is a pure observer: with it on, both
+    engines still match each other *and* the sanitizer-off baseline
+    bitwise (same cycles, same full stats summary)."""
+    config = GPUConfig.preset("fermi", scheduler="gto")
+    baseline = _run(kernel, config, "fast")
+    for engine in ("fast", "reference"):
+        sanitized = simulate(kernel, config=config, params=PARAMS[kernel],
+                             engine=engine, sanitize=True)
+        assert sanitized.stats.summary() == baseline.stats.summary()
+        assert sanitized.cycles == baseline.cycles
+        assert sanitized.sanitizer.ok, sanitized.sanitizer.render()

@@ -163,3 +163,50 @@ def test_instruction_addresses_are_8_bytes_apart():
 
 def test_static_size():
     assert assemble(LOOP).static_size == 5
+
+
+SELF_LOOP_COND = """
+    mov %r_i, 0
+SPIN:
+    add %r_i, %r_i, 1
+    setp.lt %p1, %r_i, 10
+    @%p1 bra SPIN
+    exit
+"""
+
+SELF_LOOP_UNCOND = """
+    mov %r1, 0
+SPIN:
+    bra SPIN
+    exit
+"""
+
+
+def test_single_block_self_loop_back_edge_conditional():
+    # Regression: the dominance-based CFG view used to disagree with the
+    # instruction-level backward_branches() on single-block self-loops.
+    program = assemble(SELF_LOOP_COND)
+    spin = program.block_of(1).index
+    assert (spin, spin) in program.back_edges()
+    assert program.loop_back_branches() == program.backward_branches() == {3}
+    assert program.natural_loop(spin, spin) == {spin}
+
+
+def test_single_block_self_loop_back_edge_unconditional():
+    program = assemble(SELF_LOOP_UNCOND)
+    spin = program.block_of(1).index
+    assert (spin, spin) in program.back_edges()
+    assert 1 in program.loop_back_branches()
+    assert program.natural_loop(spin, spin) == {spin}
+
+
+def test_loop_back_branches_subset_of_backward_on_all_kernels():
+    from repro.kernels import build, kernel_names
+
+    for name in kernel_names():
+        program = build(name).launch.program
+        loop_branches = program.loop_back_branches()
+        assert loop_branches <= program.backward_branches(), name
+        # Every natural loop's head must be a member of its own body.
+        for (tail, head), body in program.natural_loops().items():
+            assert head in body and tail in body, (name, tail, head)

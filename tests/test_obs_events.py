@@ -37,6 +37,8 @@ EXAMPLES = {
     "barrier_release": dict(cycle=18, sm_id=0, cta_id=1, released=4),
     "hang_suspected": dict(cycle=19, hang_kind="livelock",
                            reason="no progress"),
+    "sanitizer": dict(cycle=20, diag_id="SAN001", severity="error",
+                      pc=24, warp_slot=2),
 }
 
 
@@ -45,7 +47,7 @@ def example(cls):
 
 
 def test_taxonomy_is_complete_and_consistent():
-    assert len(EVENT_TYPES) == 10
+    assert len(EVENT_TYPES) == 11
     assert set(EVENT_KINDS) == set(EXAMPLES)
     for cls in EVENT_TYPES:
         assert EVENT_KINDS[cls.kind] is cls
