@@ -135,6 +135,20 @@ class Sanitizer:
         """Install the :class:`GlobalMemory` write hook (coverage)."""
         memory.write_hook = self._on_raw_write
 
+    def __getstate__(self):
+        """Checkpointing: drop the emitter closure (``_bus`` itself is a
+        picklable :class:`EventBus` and rides along; the memory write
+        hook is a bound method and pickles with shared identity)."""
+        state = self.__dict__.copy()
+        state["_emit"] = None
+        return state
+
+    def _rebind_events(self) -> None:
+        if self._bus is not None:
+            from repro.obs.events import SanitizerFinding
+
+            self._emit = self._bus.emitter(SanitizerFinding)
+
     def _on_raw_write(self, n_words: int) -> None:
         self.counters["raw_writes"] += n_words
 

@@ -30,8 +30,9 @@ from repro.isa.program import Program
 from repro.kernels import build as build_workload
 from repro.kernels.base import Workload, WorkloadReuseError
 from repro.memory.memsys import GlobalMemory
+from repro.sim.checkpoint import SimCheckpoint
 from repro.sim.config import GPUConfig
-from repro.sim.gpu import GPU, KernelLaunch, SimResult
+from repro.sim.gpu import GPU, KernelLaunch, SimResult, Simulation
 
 #: What :func:`simulate` accepts as its target.
 SimTarget = Union[str, Workload, KernelLaunch, Program]
@@ -77,6 +78,8 @@ def simulate(
     validate: bool = True,
     obs=None,
     sanitize=None,
+    checkpoint_every=None,
+    checkpoint_path=None,
 ) -> SimResult:
     """Simulate ``target`` and return its :class:`SimResult`.
 
@@ -113,6 +116,15 @@ def simulate(
             or a prepared :class:`repro.analysis.Sanitizer`.  Findings
             come back on ``result.sanitizer`` (see ``docs/analysis.md``);
             like obs, it never changes simulated behavior.
+        checkpoint_every: autocheckpoint the complete machine state to
+            ``checkpoint_path`` every N cycles (``True`` uses
+            ``config.progress_epoch``), so a run killed or timed out by
+            the watchdog can be continued with :func:`resume_simulation`
+            instead of rerun.  Checkpointing never changes simulated
+            behavior — a resumed run is bitwise-identical to an
+            uninterrupted one (see ``docs/robustness.md``).
+        checkpoint_path: where autocheckpoints go (required when
+            ``checkpoint_every`` is set).
 
     Returns:
         The :class:`SimResult`, whose ``stats.summary()`` is the stable
@@ -145,7 +157,10 @@ def simulate(
         workload.consumed = True
         gpu = GPU(config, memory=workload.memory, tracer=tracer,
                   engine=engine, obs=obs, sanitizer=sanitize)
-        result = gpu.launch(workload.launch)
+        result = gpu.begin(workload.launch).run(
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+        )
         if validate and not config.magic_locks:
             workload.validate(result.memory)
         return result
@@ -168,4 +183,57 @@ def simulate(
 
     gpu = GPU(config, memory=memory, tracer=tracer, engine=engine, obs=obs,
               sanitizer=sanitize)
-    return gpu.launch(target)
+    return gpu.begin(target).run(
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+    )
+
+
+def resume_simulation(
+    checkpoint,
+    *,
+    check_fingerprint: bool = True,
+    checkpoint_every=None,
+    checkpoint_path=None,
+    extend_max_cycles: Optional[int] = None,
+) -> SimResult:
+    """Continue a checkpointed simulation to completion.
+
+    Args:
+        checkpoint: a path to a ``*.ckpt`` file, a loaded
+            :class:`~repro.sim.checkpoint.SimCheckpoint`, or a live
+            :class:`~repro.sim.gpu.Simulation`.
+        check_fingerprint: refuse checkpoints captured under different
+            simulator code (pass ``False`` to override — the resumed
+            run is then *not* guaranteed bitwise-faithful).
+        checkpoint_every / checkpoint_path: keep autocheckpointing the
+            continued run (same semantics as :func:`simulate`).
+        extend_max_cycles: raise the cycle budget before resuming — the
+            remedy for a run that hit :class:`SimulationTimeout`; only
+            the watchdog's budget check reads this, so the continued
+            execution stays cycle-exact.
+
+    Returns:
+        The completed :class:`SimResult`.  Functional validation is the
+        caller's business (the lab layer rebuilds the deterministic
+        workload and validates against the result's memory image).
+    """
+    if isinstance(checkpoint, Simulation):
+        sim = checkpoint
+    else:
+        if not isinstance(checkpoint, SimCheckpoint):
+            checkpoint = SimCheckpoint.load(
+                checkpoint, check_fingerprint=check_fingerprint
+            )
+        sim = checkpoint.restore()
+    if extend_max_cycles is not None:
+        if extend_max_cycles < sim.config.max_cycles:
+            raise ValueError(
+                f"extend_max_cycles={extend_max_cycles} is below the "
+                f"checkpoint's budget of {sim.config.max_cycles}"
+            )
+        sim.config = sim.config.replace(max_cycles=extend_max_cycles)
+    return sim.run(
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+    )

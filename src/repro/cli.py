@@ -14,13 +14,17 @@ Usage::
     python -m repro fuzz ht --seeds 16 --budget-cycles 50000
     python -m repro bench --out BENCH_hotloop.json --min-speedup 2.0
     python -m repro sweep --kernel ht --kernel tsp --bows none,1000,adaptive
+    python -m repro sweep --kernel ht --journal sweep.jsonl
+    python -m repro sweep --resume sweep.jsonl    # finish a killed sweep
     python -m repro cache stats
+    python -m repro cache verify [--repair]       # per-entry integrity
     python -m repro cache clear [--stale-only]
 
 Exit codes distinguish failure classes so CI and the fuzzer can react
 without parsing output: 0 success, 1 generic failure, 2 usage error,
 3 hang (deadlock/livelock/cycle-cap timeout), 4 validation mismatch,
-5 transient/infrastructure error (worth retrying).
+5 transient/infrastructure error (worth retrying), 130 interrupted
+(a drained SIGINT/SIGTERM; see docs/robustness.md).
 
 ``experiment`` and ``sweep`` execute through :mod:`repro.lab`: runs fan
 out over a process pool and completed simulations land in the on-disk
@@ -52,6 +56,7 @@ EXIT_FAILURE = 1
 EXIT_HANG = 3
 EXIT_VALIDATION = 4
 EXIT_TRANSIENT = 5
+EXIT_INTERRUPTED = 130
 
 
 def _parse_params(items: List[str]) -> dict:
@@ -79,7 +84,8 @@ def _make_lab_runner(args) -> Runner:
         workers = os.cpu_count() or 1
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     progress = print if getattr(args, "progress", False) else None
-    return Runner(workers=workers, cache=cache, progress=progress)
+    return Runner(workers=workers, cache=cache, progress=progress,
+                  checkpoint_dir=getattr(args, "checkpoint_dir", None))
 
 
 def _add_lab_options(parser) -> None:
@@ -91,6 +97,9 @@ def _add_lab_options(parser) -> None:
                         help="result cache directory (default: .lab_cache)")
     parser.add_argument("--progress", action="store_true",
                         help="print per-run progress lines")
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="autocheckpoint running simulations to DIR; "
+                             "killed/timed-out runs resume mid-simulation")
 
 
 def _cmd_experiment(args) -> int:
@@ -141,6 +150,8 @@ def _parse_bows_axis(values: List[str]) -> List[object]:
 
 
 def _cmd_sweep(args) -> int:
+    if args.resume:
+        return _cmd_sweep_resume(args)
     kernels = args.kernel or ["ht"]
     schedulers = [s for chunk in (args.scheduler or ["gto"])
                   for s in chunk.split(",")]
@@ -163,7 +174,7 @@ def _cmd_sweep(args) -> int:
             raise SystemExit(f"--param {name} values must be integers, "
                              f"got {values!r}") from None
     start = time.time()
-    result = sweep.run(runner=_make_lab_runner(args))
+    result = sweep.run(runner=_make_lab_runner(args), journal=args.journal)
     rows = [
         {k: v for k, v in row.items() if k not in ("preset", "scale")}
         for row in result.rows()
@@ -174,10 +185,36 @@ def _cmd_sweep(args) -> int:
     print(f"\n[{report.total} runs: {report.cache_hits} cached, "
           f"{report.executed} simulated, {len(report.failures)} failed "
           f"in {time.time() - start:.1f}s]")
+    if args.journal:
+        print(f"[journal at {args.journal}; finish a killed sweep with "
+              f"'repro sweep --resume {args.journal}']")
     if args.manifest:
         result.write_manifest(args.manifest)
         print(f"[manifest written to {args.manifest}]")
-    return 1 if report.failures else 0
+    if report.interrupted:
+        return EXIT_INTERRUPTED
+    return EXIT_FAILURE if report.failures else EXIT_OK
+
+
+def _cmd_sweep_resume(args) -> int:
+    """Complete a crashed/killed sweep from its journal."""
+    from repro.lab import resume_sweep
+    from repro.lab.journal import JournalError, load_journal
+
+    try:
+        state = load_journal(args.resume)
+    except JournalError as exc:
+        raise SystemExit(f"sweep --resume: {exc}")
+    print(f"[resuming {args.resume}: {len(state.specs)} spec(s), "
+          f"{len(state.done)} already done, {len(state.pending)} pending]")
+    start = time.time()
+    report = resume_sweep(args.resume, runner=_make_lab_runner(args))
+    print(f"[{report.total} runs: {report.cache_hits} cached, "
+          f"{report.executed} simulated, {len(report.failures)} failed "
+          f"in {time.time() - start:.1f}s]")
+    if report.interrupted:
+        return EXIT_INTERRUPTED
+    return EXIT_FAILURE if report.failures else EXIT_OK
 
 
 def _cmd_cache(args) -> int:
@@ -185,6 +222,17 @@ def _cmd_cache(args) -> int:
     if args.cache_command == "stats":
         print(cache.stats().render())
         return 0
+    if args.cache_command == "verify":
+        report = cache.verify(repair=args.repair)
+        print(report.render(verbose=True))
+        if report.quarantined:
+            print(f"[{len(report.quarantined)} corrupt entr(ies) moved to "
+                  f"quarantine; they will be recomputed on next use]")
+        # Corrupt entries left in place are an error; after --repair the
+        # store is clean again (the defects are preserved in quarantine).
+        if report.corrupt and not args.repair:
+            return EXIT_FAILURE
+        return EXIT_OK
     if args.cache_command == "clear":
         removed = cache.clear(stale_only=args.stale_only)
         what = "stale " if args.stale_only else ""
@@ -372,7 +420,9 @@ def _cmd_fuzz(args) -> int:
     runner = Runner(workers=workers, cache=None,
                     progress=print if args.progress else None)
     seeds = list(range(args.seed_base, args.seed_base + args.seeds))
-    report = fuzzer.run(seeds, runner=runner, shrink=not args.no_shrink)
+    journal = args.resume or args.journal
+    report = fuzzer.run(seeds, runner=runner, shrink=not args.no_shrink,
+                        journal=journal, resume=bool(args.resume))
     if args.json:
         report.write(args.json)
         print(f"[fuzz report written to {args.json}]")
@@ -501,15 +551,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                      help="workload parameter axis (repeatable)")
     swp.add_argument("--manifest", default=None,
                      help="write the sweep manifest JSON to this path")
+    swp.add_argument("--journal", default=None, metavar="PATH",
+                     help="append specs and outcomes to a durable JSONL "
+                          "journal, making the sweep resumable")
+    swp.add_argument("--resume", default=None, metavar="PATH",
+                     help="complete a killed sweep from its journal "
+                          "(finished specs come back as cache hits)")
     _add_lab_options(swp)
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
     stats = cache_sub.add_parser("stats", help="entry counts and sizes")
+    verify = cache_sub.add_parser(
+        "verify",
+        help="per-entry size + integrity scan (exit 1 on corrupt entries "
+             "unless --repair quarantines them)",
+    )
+    verify.add_argument("--repair", action="store_true",
+                        help="move corrupt entries to quarantine/ so they "
+                             "are recomputed on next use")
     clear = cache_sub.add_parser("clear", help="delete cached results")
     clear.add_argument("--stale-only", action="store_true",
                        help="only drop entries from old code fingerprints")
-    for sub_parser in (stats, clear):
+    for sub_parser in (stats, verify, clear):
         sub_parser.add_argument("--cache-dir", default=None,
                                 help="cache directory (default: .lab_cache)")
 
@@ -632,6 +696,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                       help="attach the dynamic sanitizer to every seed; "
                            "completed-but-racy schedules become 'race' "
                            "findings (exit 4)")
+    fuzz.add_argument("--journal", default=None, metavar="PATH",
+                      help="append per-seed outcomes to a durable JSONL "
+                           "journal, making the campaign resumable")
+    fuzz.add_argument("--resume", default=None, metavar="PATH",
+                      help="continue a killed campaign from its journal, "
+                           "skipping seeds with a recorded outcome")
 
     lint = sub.add_parser(
         "lint",

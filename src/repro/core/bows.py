@@ -56,6 +56,25 @@ class BOWSUnit:
         self._window_sib = 0
         self._window_stores = 0
 
+    def __getstate__(self):
+        """Checkpointing: drop the emitter closures; queue, controller,
+        and window counters pickle as-is (SM rebinds after restore)."""
+        state = self.__dict__.copy()
+        state["_emit_enter"] = None
+        state["_emit_exit"] = None
+        state["_emit_delay"] = None
+        return state
+
+    def _rebind_events(self, bus) -> None:
+        if bus is not None:
+            self._emit_enter = bus.emitter(BackoffEnter)
+            self._emit_exit = bus.emitter(BackoffExit)
+            self._emit_delay = bus.emitter(AdaptiveDelayUpdate)
+        else:
+            self._emit_enter = null_emitter
+            self._emit_exit = null_emitter
+            self._emit_delay = null_emitter
+
     # ------------------------------------------------------------------
 
     @property

@@ -126,6 +126,23 @@ class DDOSEngine:
         self._shared_owner = 0
         self._shared_epoch_end = config.time_sharing_epoch
 
+    def __getstate__(self):
+        """Checkpointing: drop the emitter closures; histories, the
+        SIB-PT, and time-sharing state pickle as-is (the ``_hash``
+        module-level function pickles by reference)."""
+        state = self.__dict__.copy()
+        state["_emit_detected"] = None
+        state["_emit_cleared"] = None
+        return state
+
+    def _rebind_events(self, bus) -> None:
+        if bus is not None:
+            self._emit_detected = bus.emitter(SIBDetected)
+            self._emit_cleared = bus.emitter(SIBCleared)
+        else:
+            self._emit_detected = null_emitter
+            self._emit_cleared = null_emitter
+
     # ------------------------------------------------------------------
     # Event hooks (called by the SM at execution)
 

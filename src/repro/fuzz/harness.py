@@ -256,17 +256,54 @@ class ScheduleFuzzer:
 
     def run(self, seeds: Union[int, Sequence[int]],
             runner: Optional[Runner] = None,
-            shrink: bool = True) -> FuzzReport:
-        """Fuzz across ``seeds`` (an iterable, or N meaning 0..N-1)."""
+            shrink: bool = True,
+            journal=None, resume: bool = False) -> FuzzReport:
+        """Fuzz across ``seeds`` (an iterable, or N meaning 0..N-1).
+
+        With ``journal`` (a path or
+        :class:`~repro.lab.journal.SweepJournal`), every spec and
+        outcome is appended durably so a killed campaign can be
+        completed with ``resume=True`` — paired with a result cache on
+        the runner, already-finished seeds come back as cache hits.
+        """
         import time
+
+        from repro.lab.journal import JournalError, SweepJournal, load_journal
 
         if isinstance(seeds, int):
             seeds = list(range(seeds))
         seeds = list(seeds)
         if runner is None:
             runner = Runner(workers=1)
+        if resume and journal is not None:
+            # Seeds with a journaled outcome were already fuzzed by the
+            # killed campaign; only the remainder needs to run.
+            journal_path = (journal.path if isinstance(journal, SweepJournal)
+                            else journal)
+            try:
+                done = set(load_journal(journal_path).done)
+            except JournalError:
+                done = set()
+            if done:
+                seeds = [s for s in seeds
+                         if self.spec_for(s).content_hash() not in done]
+        owns_journal = journal is not None and not isinstance(
+            journal, SweepJournal
+        )
+        if owns_journal:
+            journal = SweepJournal(journal, resume=resume)
         start = time.perf_counter()
-        batch = runner.run_many([self.spec_for(s) for s in seeds])
+        try:
+            if journal is not None:
+                journal.record_note(
+                    "fuzz", kernel=self.kernel, seeds=len(seeds),
+                    resume=bool(resume),
+                )
+            batch = runner.run_many([self.spec_for(s) for s in seeds],
+                                    journal=journal)
+        finally:
+            if owns_journal:
+                journal.close()
 
         report = FuzzReport(
             kernel=self.kernel, params=dict(self.params),

@@ -54,6 +54,17 @@ class Program:
         self._compute_reconvergence()
         self._annotate_hazards()
 
+    def __getstate__(self):
+        """Checkpointing: drop the fast engine's memoized decode cache
+        (closure-bound handlers; see :func:`repro.sim.executor.
+        decode_program`) — it is rebuilt deterministically on demand."""
+        state = self.__dict__.copy()
+        state.pop("_decoded_cache", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+
     # ------------------------------------------------------------------
     # Queries
 

@@ -26,13 +26,19 @@ from __future__ import annotations
 import contextlib
 from typing import Iterator, Optional
 
-from repro.lab.cache import (CacheStats, ResultCache, code_fingerprint,
+from repro.lab.cache import (CacheStats, EntryReport, ResultCache,
+                             VerifyReport, code_fingerprint,
                              default_cache_dir)
+from repro.lab.journal import (JournalError, JournalState, SweepJournal,
+                               load_journal)
+from repro.lab.locking import FileLock, LockTimeout
 from repro.lab.results import LabError, RunFailure, RunResult
-from repro.lab.runner import (BatchReport, Runner, RunTimeout,
-                              TransientRunError, execute_run)
+from repro.lab.runner import (BatchReport, RunInterrupted, Runner,
+                              RunTimeout, TransientRunError,
+                              decorrelated_jitter, execute_run)
 from repro.lab.spec import RunSpec, config_from_dict, config_to_dict
-from repro.lab.sweep import Sweep, SweepResult, experiment_spec
+from repro.lab.sweep import (Sweep, SweepResult, experiment_spec,
+                             resume_sweep)
 
 _current_runner: Optional[Runner] = None
 
@@ -66,23 +72,34 @@ def use_runner(runner: Runner) -> Iterator[Runner]:
 __all__ = [
     "BatchReport",
     "CacheStats",
+    "EntryReport",
+    "FileLock",
+    "JournalError",
+    "JournalState",
     "LabError",
+    "LockTimeout",
     "ResultCache",
     "RunFailure",
+    "RunInterrupted",
     "RunResult",
     "RunSpec",
     "RunTimeout",
     "Runner",
     "Sweep",
+    "SweepJournal",
     "SweepResult",
     "TransientRunError",
+    "VerifyReport",
     "code_fingerprint",
     "config_from_dict",
     "config_to_dict",
     "current_runner",
+    "decorrelated_jitter",
     "default_cache_dir",
     "execute_run",
     "experiment_spec",
+    "load_journal",
+    "resume_sweep",
     "set_runner",
     "use_runner",
 ]

@@ -1,4 +1,4 @@
-"""On-disk content-addressed result cache.
+"""On-disk content-addressed result cache (durable, concurrency-safe).
 
 Entries live under ``<cache_dir>/<code_fingerprint>/<spec_hash>.json``.
 The spec hash covers everything that determines a simulation's outcome
@@ -7,8 +7,25 @@ simulator itself — a SHA-256 over every ``.py`` file of the ``repro``
 package — so editing any simulator source invalidates prior results
 wholesale rather than serving stale numbers.
 
-Writes are atomic (temp file + ``os.replace``) so concurrent sweep
-workers and parallel pytest sessions can share one cache directory.
+Durability guarantees (see ``docs/robustness.md``):
+
+* **Atomic writes** — every entry goes through temp file +
+  ``os.replace``, so concurrent sweep workers, parallel pytest sessions,
+  and multiple Runners can share one cache directory without ever
+  exposing a half-written entry.
+* **Checksummed reads** — version-2 entries embed a SHA-256 over the
+  canonical JSON body; :meth:`ResultCache.get` verifies it and treats
+  any mismatch (torn write, bit rot, hand-editing) as a miss.  Never a
+  crash, never a silently wrong result.
+* **Quarantine** — a corrupt entry is moved to
+  ``<cache_dir>/quarantine/`` rather than deleted or overwritten in
+  place, preserving the evidence; :meth:`ResultCache.verify` (surfaced
+  as ``repro cache verify [--repair]``) scans the whole store.
+* **Multi-file mutations lock** — quarantine moves, repair scans, and
+  ``clear`` hold an advisory :class:`~repro.lab.locking.FileLock` on
+  ``<cache_dir>/.lock``, so two processes never fight over the same
+  files (single-entry put/get need no lock thanks to the atomic
+  rename).
 """
 
 from __future__ import annotations
@@ -18,10 +35,11 @@ import json
 import os
 import shutil
 import tempfile
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional
+from typing import List, Optional
 
+from repro.lab.locking import FileLock, LockTimeout
 from repro.lab.results import RunResult
 from repro.lab.spec import RunSpec, _json_default
 
@@ -29,7 +47,26 @@ from repro.lab.spec import RunSpec, _json_default
 #: override with the REPRO_LAB_CACHE_DIR environment variable.
 DEFAULT_CACHE_DIR = ".lab_cache"
 
+#: Entry payload schema version.  v2 added the content checksum; v1
+#: entries (no checksum) are still readable but report ``"unchecked"``
+#: integrity in :meth:`ResultCache.verify`.
+ENTRY_VERSION = 2
+
+#: Subdirectory corrupt entries are moved into (never deleted).
+QUARANTINE_DIR = "quarantine"
+
 _fingerprint_memo: Optional[str] = None
+
+
+def _canonical_body(body) -> bytes:
+    """Deterministic JSON serialization the checksum is computed over.
+
+    Written entries embed exactly this text, so re-serializing the
+    parsed body on read reproduces the checksummed bytes bit-for-bit.
+    """
+    return json.dumps(
+        body, sort_keys=True, separators=(",", ":"), default=_json_default,
+    ).encode("utf-8")
 
 
 def default_cache_dir() -> Path:
@@ -61,25 +98,88 @@ class CacheStats:
     current_entries: int
     stale_entries: int
     fingerprint: str
+    quarantined_entries: int = 0
 
     def render(self) -> str:
         mib = self.size_bytes / (1024 * 1024)
-        return (
+        text = (
             f"cache directory : {self.directory}\n"
             f"entries         : {self.entries} ({mib:.2f} MiB)\n"
             f"  current code  : {self.current_entries}\n"
             f"  stale code    : {self.stale_entries}\n"
             f"code fingerprint: {self.fingerprint[:16]}"
         )
+        if self.quarantined_entries:
+            text += f"\nquarantined     : {self.quarantined_entries}"
+        return text
+
+
+@dataclass
+class EntryReport:
+    """Integrity report for one cache entry (``repro cache verify``)."""
+
+    path: str
+    spec_hash: str
+    size_bytes: int
+    #: ``ok`` | ``corrupt`` | ``unchecked`` (pre-checksum v1 entry) |
+    #: ``stale`` (different code fingerprint; not integrity-checked).
+    status: str
+    detail: str = ""
+
+
+@dataclass
+class VerifyReport:
+    """Whole-store integrity scan (``repro cache verify [--repair]``)."""
+
+    directory: str
+    entries: List[EntryReport] = field(default_factory=list)
+    quarantined: List[str] = field(default_factory=list)
+
+    @property
+    def corrupt(self) -> List[EntryReport]:
+        return [e for e in self.entries if e.status == "corrupt"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.corrupt
+
+    def render(self, verbose: bool = False) -> str:
+        lines = [f"cache directory : {self.directory}"]
+        counts = {}
+        for entry in self.entries:
+            counts[entry.status] = counts.get(entry.status, 0) + 1
+        summary = ", ".join(
+            f"{n} {status}" for status, n in sorted(counts.items())
+        ) or "empty"
+        lines.append(f"scanned         : {len(self.entries)} ({summary})")
+        if verbose:
+            for entry in self.entries:
+                detail = f"  {entry.detail}" if entry.detail else ""
+                lines.append(
+                    f"  {entry.status:9s} {entry.size_bytes:>10,} B  "
+                    f"{entry.spec_hash[:16]}{detail}"
+                )
+        else:
+            for entry in self.corrupt:
+                lines.append(f"  CORRUPT {entry.path}: {entry.detail}")
+        for moved in self.quarantined:
+            lines.append(f"  quarantined -> {moved}")
+        return "\n".join(lines)
 
 
 class ResultCache:
-    """Content-addressed store of :class:`RunResult` records."""
+    """Content-addressed store of :class:`RunResult` records.
+
+    ``bus`` is an optional :class:`repro.obs.EventBus`: when attached,
+    quarantine actions publish
+    :class:`~repro.obs.events.CorruptEntryQuarantined` events.
+    """
 
     def __init__(self, directory=None,
-                 fingerprint: Optional[str] = None) -> None:
+                 fingerprint: Optional[str] = None, bus=None) -> None:
         self.directory = Path(directory) if directory else default_cache_dir()
         self._fingerprint = fingerprint
+        self.bus = bus
 
     @property
     def fingerprint(self) -> str:
@@ -90,35 +190,94 @@ class ResultCache:
     def _entry_path(self, spec_hash: str) -> Path:
         return self.directory / self.fingerprint[:16] / f"{spec_hash}.json"
 
+    def lock(self, timeout_s: float = 30.0) -> FileLock:
+        """The store-wide advisory lock guarding multi-file mutations."""
+        return FileLock(self.directory / ".lock", timeout_s=timeout_s)
+
+    # ------------------------------------------------------------------
+    # Entry integrity
+
+    @staticmethod
+    def _check_entry(payload) -> Optional[str]:
+        """Return None when ``payload`` is intact, else a defect string."""
+        if not isinstance(payload, dict) or "result" not in payload:
+            return "entry is not a result record"
+        checksum = payload.get("checksum")
+        if checksum is None:
+            if payload.get("version", 1) >= 2:
+                return "v2 entry is missing its checksum"
+            return None  # v1 (pre-checksum) entry: readable, unchecked
+        body = {k: v for k, v in payload.items()
+                if k not in ("checksum", "version")}
+        actual = hashlib.sha256(_canonical_body(body)).hexdigest()
+        if actual != checksum:
+            return "checksum mismatch (torn write or modified entry)"
+        return None
+
+    def _quarantine(self, path: Path, reason: str) -> Optional[Path]:
+        """Move a corrupt entry aside (atomic; races resolve silently)."""
+        dest_dir = self.directory / QUARANTINE_DIR
+        dest_dir.mkdir(parents=True, exist_ok=True)
+        dest = dest_dir / f"{path.parent.name}__{path.name}"
+        try:
+            with self.lock():
+                os.replace(path, dest)
+        except (OSError, LockTimeout):
+            return None  # another process already moved/removed it
+        if self.bus is not None:
+            from repro.obs.events import CorruptEntryQuarantined
+
+            self.bus.publish(CorruptEntryQuarantined(
+                cycle=0, path=str(path), reason=reason,
+            ))
+        return dest
+
     # ------------------------------------------------------------------
 
     def get(self, spec: RunSpec) -> Optional[RunResult]:
         """Return the cached result for ``spec``, or ``None`` on a miss.
 
-        A corrupt or unreadable entry counts as a miss (it will be
-        overwritten by the fresh run), never as an error.
+        A corrupt or unreadable entry counts as a miss — never a crash,
+        never a silently wrong result.  Entries failing their content
+        checksum (or unparseable) are quarantined so the defect stays
+        diagnosable and the slot is free for the fresh recompute.
         """
         path = self._entry_path(spec.content_hash())
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
+        except OSError:
+            return None  # plain miss
+        except ValueError:
+            self._quarantine(path, "entry is not valid JSON")
+            return None
+        defect = self._check_entry(payload)
+        if defect is not None:
+            self._quarantine(path, defect)
+            return None
+        try:
             result = RunResult.from_dict(payload["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError) as exc:
+            self._quarantine(path, f"result payload malformed: {exc}")
             return None
         result.from_cache = True
         result.label = spec.label
         return result
 
     def put(self, spec: RunSpec, result: RunResult) -> Path:
-        """Persist ``result`` under the spec's content hash (atomic)."""
+        """Persist ``result`` under the spec's content hash (atomic,
+        checksummed: readers verify the body byte-for-byte)."""
         path = self._entry_path(spec.content_hash())
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "version": 1,
+        body = {
             "fingerprint": self.fingerprint,
             "spec": spec.to_dict(),
             "result": result.to_dict(),
         }
+        canonical = _canonical_body(body)
+        payload = dict(json.loads(canonical))
+        payload["version"] = ENTRY_VERSION
+        payload["checksum"] = hashlib.sha256(canonical).hexdigest()
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
@@ -132,11 +291,63 @@ class ResultCache:
 
     # ------------------------------------------------------------------
 
+    def verify(self, repair: bool = False) -> VerifyReport:
+        """Scan every entry's integrity; optionally quarantine failures.
+
+        ``repair=True`` moves corrupt entries to the quarantine
+        directory (they will be recomputed on next use); without it the
+        scan is read-only.  Stale-fingerprint entries are reported but
+        not checksum-verified — they can never be served anyway.
+        """
+        report = VerifyReport(directory=str(self.directory))
+        if not self.directory.is_dir():
+            return report
+        current_dir = self.fingerprint[:16]
+        for path in sorted(self.directory.rglob("*.json")):
+            if path.parent.name == QUARANTINE_DIR:
+                continue
+            spec_hash = path.stem
+            size = path.stat().st_size
+            if path.parent.name != current_dir:
+                report.entries.append(EntryReport(
+                    path=str(path), spec_hash=spec_hash,
+                    size_bytes=size, status="stale",
+                ))
+                continue
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+                defect = self._check_entry(payload)
+            except ValueError as exc:
+                defect = f"entry is not valid JSON: {exc}"
+            except OSError as exc:
+                defect = f"unreadable: {exc}"
+            if defect is None:
+                version = payload.get("version", 1)
+                status = "ok" if version >= 2 else "unchecked"
+                report.entries.append(EntryReport(
+                    path=str(path), spec_hash=spec_hash,
+                    size_bytes=size, status=status,
+                ))
+                continue
+            report.entries.append(EntryReport(
+                path=str(path), spec_hash=spec_hash, size_bytes=size,
+                status="corrupt", detail=defect,
+            ))
+            if repair:
+                moved = self._quarantine(path, defect)
+                if moved is not None:
+                    report.quarantined.append(str(moved))
+        return report
+
     def stats(self) -> CacheStats:
-        entries = size = current = stale = 0
+        entries = size = current = stale = quarantined = 0
         current_dir = self.fingerprint[:16]
         if self.directory.is_dir():
             for path in self.directory.rglob("*.json"):
+                if path.parent.name == QUARANTINE_DIR:
+                    quarantined += 1
+                    continue
                 entries += 1
                 size += path.stat().st_size
                 if path.parent.name == current_dir:
@@ -150,6 +361,7 @@ class ResultCache:
             current_entries=current,
             stale_entries=stale,
             fingerprint=self.fingerprint,
+            quarantined_entries=quarantined,
         )
 
     def clear(self, stale_only: bool = False) -> int:
@@ -158,11 +370,12 @@ class ResultCache:
             return 0
         removed = 0
         current_dir = self.fingerprint[:16]
-        for child in list(self.directory.iterdir()):
-            if not child.is_dir():
-                continue
-            if stale_only and child.name == current_dir:
-                continue
-            removed += sum(1 for _ in child.glob("*.json"))
-            shutil.rmtree(child, ignore_errors=True)
+        with self.lock():
+            for child in list(self.directory.iterdir()):
+                if not child.is_dir() or child.name == QUARANTINE_DIR:
+                    continue
+                if stale_only and child.name == current_dir:
+                    continue
+                removed += sum(1 for _ in child.glob("*.json"))
+                shutil.rmtree(child, ignore_errors=True)
         return removed

@@ -18,20 +18,46 @@ via ``SIGALRM`` (each pool worker's main thread), so a hung run
 surfaces as an ordinary exception and the pool stays healthy.  Failures
 classified transient (OS errors, timeouts, a broken pool, or the
 explicit :class:`TransientRunError`) are retried up to ``retries``
-times; deterministic simulation errors (deadlock, validation failure,
-bad parameters) fail fast.
+times with exponential backoff and decorrelated jitter; deterministic
+simulation errors (deadlock, validation failure, bad parameters) fail
+fast.
+
+Resilience (see ``docs/robustness.md`` for the full recovery matrix):
+
+* **Worker loss** — a SIGKILLed/OOMed pool worker breaks the pool; the
+  runner rebuilds it and re-queues each in-flight spec exactly once
+  *without* consuming its retry budget (a worker death says nothing
+  about the spec).  A second loss on the same spec counts as an
+  ordinary transient failure.
+* **Straggler detection** — in pooled modes the runner polls in-flight
+  futures and flags any run exceeding ``straggler_factor ×
+  timeout_s`` (the in-worker alarm should have fired; if it could not,
+  the poll at least makes the stall visible).
+* **Graceful draining** — the first SIGINT/SIGTERM stops new
+  submissions and retries, lets in-flight runs finish (their periodic
+  checkpoints are already on disk when ``checkpoint_dir`` is set), and
+  records everything unstarted as interrupted transient failures; a
+  second signal aborts immediately.  Handlers are saved and restored.
+* **Checkpoint/resume** — with ``checkpoint_dir`` set, each run
+  autocheckpoints every ``checkpoint_every`` cycles (default: the
+  config's ``progress_epoch``) to ``<dir>/<spec_hash>.ckpt``; a rerun
+  of the same spec resumes from that file instead of cycle 0, and the
+  file is removed when the run completes.
 """
 
 from __future__ import annotations
 
+import random
 import signal
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Executor, wait
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Union
 
 from repro.lab.cache import ResultCache
 from repro.lab.results import LabError, RunFailure, RunResult
@@ -47,9 +73,13 @@ class TransientRunError(RuntimeError):
     """An explicitly-transient failure: always worth retrying."""
 
 
+class RunInterrupted(RuntimeError):
+    """The batch was drained by SIGINT/SIGTERM before this spec ran."""
+
+
 #: Exception types retried (bounded) instead of failing the run.
 TRANSIENT_EXCEPTIONS = (OSError, RunTimeout, TransientRunError,
-                        BrokenProcessPool)
+                        BrokenProcessPool, RunInterrupted)
 
 #: Exception types NEVER retried, even if a subclass ever matched the
 #: transient tuple: simulated hangs (deadlock/livelock/cycle-cap
@@ -64,8 +94,33 @@ def _is_transient(exc: BaseException) -> bool:
     return isinstance(exc, TRANSIENT_EXCEPTIONS)
 
 
-def execute_run(spec: RunSpec) -> RunResult:
-    """Build, simulate, validate, and score one spec (worker entry)."""
+def decorrelated_jitter(previous_s: float, base_s: float, cap_s: float,
+                        rng: random.Random) -> float:
+    """One step of capped exponential backoff with decorrelated jitter.
+
+    ``sleep = min(cap, uniform(base, previous * 3))`` — each delay is
+    drawn relative to the *previous* delay rather than the attempt
+    number, which decorrelates retry storms across workers while still
+    growing geometrically in expectation.
+    """
+    if base_s <= 0:
+        return 0.0
+    upper = max(base_s, previous_s * 3.0)
+    return min(cap_s, rng.uniform(base_s, upper))
+
+
+def execute_run(spec: RunSpec, checkpoint_dir=None,
+                checkpoint_every=None) -> RunResult:
+    """Build, simulate, validate, and score one spec (worker entry).
+
+    With ``checkpoint_dir``, the simulation autocheckpoints its complete
+    machine state to ``<dir>/<spec_hash>.ckpt`` every
+    ``checkpoint_every`` cycles (``None`` → the config's
+    ``progress_epoch``); if that file already exists — a previous
+    attempt was killed or timed out — the run *resumes* from it instead
+    of restarting, and a corrupt checkpoint falls back to a fresh run.
+    The file is deleted once the run completes.
+    """
     # Imported here so pool workers pay the import once and the lab core
     # stays import-cycle-free with the harness/api layers.
     import dataclasses
@@ -73,20 +128,61 @@ def execute_run(spec: RunSpec) -> RunResult:
     from repro.api import simulate
     from repro.kernels import build as build_workload
 
-    obs = None
-    if spec.obs is not None:
-        from repro.obs import Observability
-        obs = Observability(spec.obs)
-    sanitizer = None
-    if spec.sanitize is not None:
-        from repro.analysis.sanitizer import Sanitizer
-        sanitizer = Sanitizer(spec.sanitize)
+    spec_hash = spec.content_hash()
+    ckpt_path: Optional[Path] = None
+    resume_ckpt = None
+    if checkpoint_dir is not None:
+        from repro.sim.checkpoint import CheckpointError, SimCheckpoint
+
+        if checkpoint_every is None:
+            checkpoint_every = True
+        ckpt_path = Path(checkpoint_dir) / f"{spec_hash}.ckpt"
+        if ckpt_path.is_file():
+            try:
+                resume_ckpt = SimCheckpoint.load(ckpt_path)
+            except CheckpointError:
+                # Torn write or stale simulator code: recompute fresh.
+                try:
+                    ckpt_path.unlink()
+                except OSError:
+                    pass
 
     start = time.perf_counter()
     workload = build_workload(spec.kernel, **spec.build_params())
     built = time.perf_counter()
-    sim = simulate(workload, config=spec.config, validate=spec.validate,
-                   engine=spec.engine, obs=obs, sanitize=sanitizer)
+
+    if resume_ckpt is not None:
+        live = resume_ckpt.restore()
+        bus = live.obs.bus if live.obs is not None else None
+        if bus is not None:
+            from repro.obs.events import RunResumed
+
+            bus.publish(RunResumed(
+                cycle=live.now, path=str(ckpt_path), spec_hash=spec_hash,
+            ))
+        sim = live.run(
+            checkpoint_every=checkpoint_every, checkpoint_path=ckpt_path,
+        )
+        # The workload build is deterministic in (kernel, params, seed),
+        # so the fresh build's validator checks the resumed run exactly
+        # as api.simulate would have checked an uninterrupted one.
+        if spec.validate and not spec.config.magic_locks:
+            workload.validate(sim.memory)
+    else:
+        obs = None
+        if spec.obs is not None:
+            from repro.obs import Observability
+            obs = Observability(spec.obs)
+        sanitizer = None
+        if spec.sanitize is not None:
+            from repro.analysis.sanitizer import Sanitizer
+            sanitizer = Sanitizer(spec.sanitize)
+        sim = simulate(
+            workload, config=spec.config, validate=spec.validate,
+            engine=spec.engine, obs=obs, sanitize=sanitizer,
+            checkpoint_every=checkpoint_every if ckpt_path else None,
+            checkpoint_path=ckpt_path,
+        )
     simulated = time.perf_counter()
 
     ddos_outcome = None
@@ -95,8 +191,14 @@ def execute_run(spec: RunSpec) -> RunResult:
         ddos_outcome = dataclasses.asdict(score_result(spec.kernel, sim))
     end = time.perf_counter()
 
+    if ckpt_path is not None:
+        try:
+            ckpt_path.unlink()  # completed: the checkpoint is obsolete
+        except OSError:
+            pass
+
     return RunResult(
-        spec_hash=spec.content_hash(),
+        spec_hash=spec_hash,
         cycles=sim.cycles,
         stats=sim.stats,
         predicted_sibs=sorted(sim.predicted_sibs()),
@@ -110,8 +212,10 @@ def execute_run(spec: RunSpec) -> RunResult:
         # Bounded event log: results travel through pickles and the
         # on-disk cache, so cap the embedded raw log (counts and the
         # time series are complete either way).
-        obs=obs.to_dict(max_events=2_000) if obs is not None else None,
-        sanitizer=sanitizer.to_dict() if sanitizer is not None else None,
+        obs=(sim.obs.to_dict(max_events=2_000)
+             if sim.obs is not None else None),
+        sanitizer=(sim.sanitizer.to_dict()
+                   if sim.sanitizer is not None else None),
         label=spec.label,
     )
 
@@ -123,7 +227,10 @@ def _run_with_timeout(run_fn: Callable[[RunSpec], RunResult],
 
     The alarm is only available on the main thread of a process (true
     for serial mode and for every process-pool worker); thread-mode
-    runs fall back to no hard timeout.
+    runs fall back to no hard timeout.  The caller's prior SIGALRM
+    handler *and* itimer are saved and restored — a host application's
+    own alarm is re-armed (minus the time we consumed) rather than
+    silently cleared.
     """
     use_alarm = (
         timeout_s is not None
@@ -138,19 +245,42 @@ def _run_with_timeout(run_fn: Callable[[RunSpec], RunResult],
             f"run {spec.display} exceeded {timeout_s:.3f}s wall clock"
         )
 
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    except ValueError:  # defensive: signal set refused off-main-thread
+        return run_fn(spec)
+    armed_at = time.monotonic()
+    prev_remaining, prev_interval = signal.setitimer(
+        signal.ITIMER_REAL, timeout_s
+    )
     try:
         return run_fn(spec)
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
+        signal.signal(signal.SIGALRM, previous_handler)
+        if prev_remaining > 0.0:
+            # Re-arm the caller's timer with whatever time it has left;
+            # if it should already have fired, fire it immediately.
+            elapsed = time.monotonic() - armed_at
+            signal.setitimer(
+                signal.ITIMER_REAL,
+                max(prev_remaining - elapsed, 1e-6),
+                prev_interval,
+            )
 
 
 def _pool_entry(spec: RunSpec, timeout_s: Optional[float],
-                run_fn: Optional[Callable]) -> RunResult:
+                run_fn: Optional[Callable],
+                checkpoint_dir=None, checkpoint_every=None) -> RunResult:
     """Module-level (hence picklable) pool-worker entry point."""
-    return _run_with_timeout(run_fn or execute_run, spec, timeout_s)
+    if run_fn is not None:
+        return _run_with_timeout(run_fn, spec, timeout_s)
+
+    def entry(s: RunSpec) -> RunResult:
+        return execute_run(s, checkpoint_dir=checkpoint_dir,
+                           checkpoint_every=checkpoint_every)
+
+    return _run_with_timeout(entry, spec, timeout_s)
 
 
 @dataclass
@@ -160,6 +290,12 @@ class BatchReport:
     results: List[Union[RunResult, RunFailure]]
     elapsed_s: float = 0.0
     retried: int = 0
+    #: In-flight specs re-queued for free after a pool worker died.
+    worker_losses: int = 0
+    #: Pooled runs observed exceeding ``straggler_factor × timeout_s``.
+    stragglers: int = 0
+    #: The batch was drained early by SIGINT/SIGTERM.
+    interrupted: bool = False
 
     @property
     def total(self) -> int:
@@ -234,9 +370,19 @@ class BatchReport:
             "executed": self.executed,
             "failed": len(self.failures),
             "retried": self.retried,
+            "worker_losses": self.worker_losses,
+            "stragglers": self.stragglers,
+            "interrupted": self.interrupted,
             "elapsed_s": round(self.elapsed_s, 3),
             "runs": rows,
         }
+
+
+class _DrainState:
+    """Shared flag set by the first SIGINT/SIGTERM of a batch."""
+
+    def __init__(self) -> None:
+        self.requested = False
 
 
 class Runner:
@@ -251,6 +397,13 @@ class Runner:
         retries: int = 1,
         run_fn: Optional[Callable[[RunSpec], RunResult]] = None,
         progress: Optional[Callable[[str], None]] = None,
+        bus=None,
+        checkpoint_dir=None,
+        checkpoint_every=None,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        straggler_factor: float = 1.5,
+        grace_s: float = 30.0,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -268,39 +421,73 @@ class Runner:
         #: (must be picklable — i.e. module-level — in process mode).
         self.run_fn = run_fn
         self.progress = progress
+        #: Optional :class:`repro.obs.EventBus` receiving lab-level
+        #: events (worker losses, quarantines).  Shared with the cache.
+        self.bus = bus
+        if self.bus is not None and self.cache is not None:
+            self.cache.bus = self.bus
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.checkpoint_every = checkpoint_every
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.straggler_factor = straggler_factor
+        self.grace_s = grace_s
         self.last_report: Optional[BatchReport] = None
+        self._backoff_rng = random.Random(0x5EED)
+        self._drain = _DrainState()
+        self._journal = None
 
     # ------------------------------------------------------------------
 
-    def run_many(self, specs: Sequence[RunSpec]) -> BatchReport:
-        """Drive every spec to a result or failure record, in order."""
+    def run_many(self, specs: Sequence[RunSpec],
+                 journal=None) -> BatchReport:
+        """Drive every spec to a result or failure record, in order.
+
+        ``journal`` is an optional
+        :class:`~repro.lab.journal.SweepJournal`: specs and outcomes are
+        appended durably as the batch progresses, enabling
+        ``repro sweep --resume``.
+        """
         specs = list(specs)
         start = time.perf_counter()
         results: List[Optional[Union[RunResult, RunFailure]]] = (
             [None] * len(specs)
         )
         report = BatchReport(results=results)  # filled in below
+        self._journal = journal
+        if journal is not None:
+            for spec in specs:
+                journal.record_spec(spec)
 
-        pending: List[int] = []
-        for i, spec in enumerate(specs):
-            cached = self.cache.get(spec) if self.cache is not None else None
-            if cached is not None:
-                results[i] = cached
-                self._note(f"[{i + 1}/{len(specs)}] {spec.display}: cached")
-            else:
-                pending.append(i)
+        try:
+            with self._drain_signals(report):
+                pending: List[int] = []
+                for i, spec in enumerate(specs):
+                    cached = (self.cache.get(spec)
+                              if self.cache is not None else None)
+                    if cached is not None:
+                        results[i] = cached
+                        self._journal_done(cached)
+                        self._note(
+                            f"[{i + 1}/{len(specs)}] {spec.display}: cached"
+                        )
+                    else:
+                        pending.append(i)
 
-        if pending:
-            if self.mode == "serial":
-                self._drive_serial(specs, pending, results, report)
-            else:
-                self._drive_pooled(specs, pending, results, report)
+                if pending:
+                    if self.mode == "serial":
+                        self._drive_serial(specs, pending, results, report)
+                    else:
+                        self._drive_pooled(specs, pending, results, report)
+        finally:
+            self._journal = None
 
-        for i, outcome in enumerate(results):
-            if outcome is not None and outcome.ok and not outcome.from_cache:
-                if self.cache is not None:
-                    self.cache.put(specs[i], outcome)
-
+        if report.interrupted and journal is not None:
+            journal.record_note("interrupted",
+                                completed=sum(1 for r in results
+                                              if r is not None and r.ok))
         report.elapsed_s = time.perf_counter() - start
         self.last_report = report
         return report
@@ -320,8 +507,68 @@ class Runner:
         if self.progress is not None:
             self.progress(message)
 
+    def _journal_done(self, result: RunResult) -> None:
+        if self._journal is not None:
+            self._journal.record_done(
+                result.spec_hash, from_cache=result.from_cache,
+                cycles=result.cycles,
+            )
+
+    def _journal_failed(self, failure: RunFailure) -> None:
+        if self._journal is not None:
+            self._journal.record_failed(
+                failure.spec_hash, error_type=failure.error_type,
+                transient=failure.transient,
+            )
+
     def _max_attempts(self) -> int:
         return self.retries + 1
+
+    @contextmanager
+    def _drain_signals(self, report: BatchReport):
+        """Install the two-stage SIGINT/SIGTERM drain for one batch.
+
+        First signal: stop submitting/retrying, let in-flight runs
+        finish (bounded by ``grace_s`` in pooled modes), mark the rest
+        interrupted.  Second signal: abort via KeyboardInterrupt.
+        Handlers are installed only on the main thread and always
+        restored.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            yield
+            return
+        drain = self._drain
+        drain.requested = False
+
+        def _on_signal(signum, _frame):
+            if drain.requested:
+                raise KeyboardInterrupt
+            drain.requested = True
+            report.interrupted = True
+            self._note("signal received: draining in-flight runs "
+                       "(repeat to abort immediately)")
+
+        previous: Dict[int, Any] = {}
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[sig] = signal.signal(sig, _on_signal)
+            except (ValueError, OSError):  # pragma: no cover - exotic host
+                pass
+        try:
+            yield
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+
+    def _backoff(self, previous_s: float) -> float:
+        """Sleep one decorrelated-jitter step; returns the delay used."""
+        delay = decorrelated_jitter(
+            previous_s, self.backoff_base_s, self.backoff_cap_s,
+            self._backoff_rng,
+        )
+        if delay > 0:
+            time.sleep(delay)
+        return delay
 
     def _record_outcome(self, results, report, specs, index, attempts,
                         outcome: Union[RunResult, BaseException],
@@ -332,17 +579,25 @@ class Runner:
             outcome.attempts = attempts
             outcome.label = spec.label
             results[index] = outcome
+            # Persist immediately (not at batch end): if this process is
+            # SIGKILLed later in the batch, the completed work survives
+            # and a resumed sweep serves it as a cache hit.
+            if self.cache is not None:
+                self.cache.put(spec, outcome)
+            self._journal_done(outcome)
             self._note(f"{spec.display}: ok "
                        f"({outcome.cycles} cycles, {elapsed:.1f}s)")
             return False
         transient = _is_transient(outcome)
-        if transient and attempts < self._max_attempts():
+        if (transient and attempts < self._max_attempts()
+                and not self._drain.requested
+                and not isinstance(outcome, RunInterrupted)):
             report.retried += 1
             self._note(f"{spec.display}: transient "
                        f"{type(outcome).__name__}, retrying")
             return True
         hang_report = getattr(outcome, "report", None)
-        results[index] = RunFailure(
+        failure = RunFailure(
             spec=spec,
             spec_hash=spec.content_hash(),
             error_type=type(outcome).__name__,
@@ -352,18 +607,44 @@ class Runner:
             transient=transient,
             hang=hang_report.to_dict() if hang_report is not None else None,
         )
+        results[index] = failure
+        self._journal_failed(failure)
         self._note(f"{spec.display}: FAILED ({type(outcome).__name__})")
         return False
 
+    def _record_interrupted(self, results, report, specs, index,
+                            attempts: int) -> None:
+        self._record_outcome(
+            results, report, specs, index, max(attempts, 1),
+            RunInterrupted("batch drained before this spec completed"),
+            0.0,
+        )
+
+    def _worker_lost(self, report, spec: RunSpec, requeued: bool) -> None:
+        report.worker_losses += 1
+        if self.bus is not None:
+            from repro.obs.events import WorkerLost
+
+            self.bus.publish(WorkerLost(
+                cycle=0, spec_hash=spec.content_hash(), requeued=requeued,
+            ))
+        self._note(f"{spec.display}: worker died"
+                   + (", re-queued (free)" if requeued else ""))
+
     def _drive_serial(self, specs, pending, results, report) -> None:
         for i in pending:
+            if self._drain.requested:
+                self._record_interrupted(results, report, specs, i, 0)
+                continue
             attempts = 0
+            delay = 0.0
             while True:
                 attempts += 1
                 t0 = time.perf_counter()
                 try:
                     outcome: Union[RunResult, BaseException] = _pool_entry(
-                        specs[i], self.timeout_s, self.run_fn
+                        specs[i], self.timeout_s, self.run_fn,
+                        self.checkpoint_dir, self.checkpoint_every,
                     )
                 except Exception as exc:  # noqa: BLE001 - recorded below
                     outcome = exc
@@ -372,6 +653,7 @@ class Runner:
                     time.perf_counter() - t0,
                 ):
                     break
+                delay = self._backoff(delay)
 
     def _make_executor(self) -> Executor:
         if self.mode == "thread":
@@ -380,24 +662,65 @@ class Runner:
 
     def _drive_pooled(self, specs, pending, results, report) -> None:
         queue = [(i, 0) for i in pending]
+        #: Specs already granted their one free re-queue after a worker
+        #: death; a second loss costs an ordinary (budgeted) retry.
+        free_requeued: Set[int] = set()
+        #: Futures already flagged as stragglers (count each run once).
+        pass_delay = 0.0
         while queue:
+            if self._drain.requested:
+                for i, prior_attempts in queue:
+                    self._record_interrupted(
+                        results, report, specs, i, prior_attempts
+                    )
+                return
+            retrying = any(a > 0 for _, a in queue)
+            if retrying:
+                pass_delay = self._backoff(pass_delay)
             executor = self._make_executor()
             try:
                 futures = {}
                 started = {}
                 for i, prior_attempts in queue:
                     future = executor.submit(
-                        _pool_entry, specs[i], self.timeout_s, self.run_fn
+                        _pool_entry, specs[i], self.timeout_s, self.run_fn,
+                        self.checkpoint_dir, self.checkpoint_every,
                     )
                     futures[future] = (i, prior_attempts + 1)
                     started[future] = time.perf_counter()
                 queue = []
                 not_done = set(futures)
+                flagged: Set[Any] = set()
                 pool_broken = False
+                drain_deadline: Optional[float] = None
                 while not_done:
                     done, not_done = wait(
-                        not_done, return_when=FIRST_COMPLETED
+                        not_done, timeout=0.5, return_when=FIRST_COMPLETED
                     )
+                    now = time.monotonic()
+                    if self._drain.requested and drain_deadline is None:
+                        drain_deadline = now + self.grace_s
+                    if drain_deadline is not None and now >= drain_deadline:
+                        # Grace expired: give up on the stuck futures.
+                        for future in not_done:
+                            i, attempts = futures[future]
+                            self._record_interrupted(
+                                results, report, specs, i, attempts
+                            )
+                        not_done = set()
+                    if self.timeout_s is not None:
+                        budget = self.straggler_factor * self.timeout_s
+                        for future in not_done - flagged:
+                            overdue = time.perf_counter() - started[future]
+                            if overdue > budget:
+                                flagged.add(future)
+                                report.stragglers += 1
+                                i, _ = futures[future]
+                                self._note(
+                                    f"{specs[i].display}: straggler "
+                                    f"({overdue:.1f}s > {budget:.1f}s "
+                                    "budget; in-worker alarm missing?)"
+                                )
                     for future in done:
                         i, attempts = futures[future]
                         elapsed = time.perf_counter() - started[future]
@@ -410,16 +733,37 @@ class Runner:
                             pool_broken = pool_broken or isinstance(
                                 exc, BrokenProcessPool
                             )
+                        if (isinstance(outcome, BrokenProcessPool)
+                                and i not in free_requeued
+                                and not self._drain.requested):
+                            # The worker died under this spec; that says
+                            # nothing about the spec itself.  One free
+                            # re-queue, not charged against retries.
+                            free_requeued.add(i)
+                            queue.append((i, attempts - 1))
+                            self._worker_lost(report, specs[i],
+                                              requeued=True)
+                            continue
+                        if isinstance(outcome, BrokenProcessPool):
+                            self._worker_lost(report, specs[i],
+                                              requeued=False)
                         if self._record_outcome(
                             results, report, specs, i, attempts, outcome,
                             elapsed,
                         ):
                             queue.append((i, attempts))
                     if pool_broken:
-                        # Every remaining future is doomed; drain them as
-                        # transient and rebuild the pool.
+                        # Every remaining future is doomed; re-queue the
+                        # innocents (free, once) and rebuild the pool.
                         for future in not_done:
                             i, attempts = futures[future]
+                            if (i not in free_requeued
+                                    and not self._drain.requested):
+                                free_requeued.add(i)
+                                queue.append((i, attempts - 1))
+                                self._worker_lost(report, specs[i],
+                                                  requeued=True)
+                                continue
                             if self._record_outcome(
                                 results, report, specs, i, attempts,
                                 BrokenProcessPool("process pool died"),

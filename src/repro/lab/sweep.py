@@ -102,13 +102,54 @@ class Sweep:
         return specs
 
     def run(self, runner: Optional[Runner] = None,
-            factory: SpecFactory = experiment_spec) -> "SweepResult":
+            factory: SpecFactory = experiment_spec,
+            journal=None) -> "SweepResult":
+        """Execute the sweep; ``journal`` (a path or
+        :class:`~repro.lab.journal.SweepJournal`) makes it resumable via
+        :func:`resume_sweep` after a crash."""
         from repro.lab import current_runner
+        from repro.lab.journal import SweepJournal
 
         runner = runner or current_runner()
         combos = self.combos()
-        report = runner.run_many(self.specs(factory))
+        if journal is None:
+            report = runner.run_many(self.specs(factory))
+        else:
+            if not isinstance(journal, SweepJournal):
+                journal = SweepJournal(journal)
+            with journal:
+                journal.record_note("sweep", name=self.name)
+                report = runner.run_many(self.specs(factory),
+                                         journal=journal)
         return SweepResult(sweep=self, combos=combos, report=report)
+
+
+def resume_sweep(journal_path, runner: Optional[Runner] = None,
+                 rerun_failed: bool = True) -> BatchReport:
+    """Complete a sweep whose writer crashed, from its journal alone.
+
+    Rebuilds every spec recorded in the journal and re-runs the whole
+    batch through ``runner`` — with a result cache installed, specs that
+    already finished come back as cache hits (journaled as
+    ``from_cache`` done records), so only genuinely unfinished work is
+    recomputed; runs that left a checkpoint resume mid-simulation when
+    the runner has a ``checkpoint_dir``.  ``rerun_failed=False`` skips
+    specs whose last journal record is a permanent failure.
+    """
+    from repro.lab import current_runner
+    from repro.lab.journal import SweepJournal, load_journal
+
+    state = load_journal(journal_path)
+    runner = runner or current_runner()
+    specs = state.all_specs()
+    if not rerun_failed:
+        permanent = {h for h, rec in state.failed.items()
+                     if not rec.get("transient") and h not in state.done}
+        specs = [s for s in specs if s.content_hash() not in permanent]
+    with SweepJournal(journal_path, resume=True) as journal:
+        journal.record_note("resume", pending=len(state.pending),
+                            done=len(state.done))
+        return runner.run_many(specs, journal=journal)
 
 
 @dataclass

@@ -37,12 +37,16 @@ from repro.obs.events import (
     BackoffExit,
     BarrierArrive,
     BarrierRelease,
+    CheckpointSaved,
+    CorruptEntryQuarantined,
     HangSuspected,
     LockAcquireFail,
     LockAcquireSuccess,
+    RunResumed,
     SanitizerFinding,
     SIBCleared,
     SIBDetected,
+    WorkerLost,
     event_from_dict,
     event_to_dict,
     format_event,
@@ -68,6 +72,10 @@ __all__ = [
     "BarrierRelease",
     "HangSuspected",
     "SanitizerFinding",
+    "CheckpointSaved",
+    "RunResumed",
+    "CorruptEntryQuarantined",
+    "WorkerLost",
     "event_to_dict",
     "event_from_dict",
     "format_event",

@@ -73,6 +73,14 @@ class EventBus:
         emit.event_cls = event_cls  # type: ignore[attr-defined]
         return emit
 
+    def __getstate__(self):
+        """Checkpointing: the ring log, counts, and drop counter pickle
+        as-is; live subscriber callables (tests/tools) do not ride along
+        and must re-subscribe after a restore."""
+        state = self.__dict__.copy()
+        state["_subscribers"] = []
+        return state
+
     def publish(self, event: Any) -> None:
         """Publish an already-constructed event (slow path; tests/tools)."""
         self.counts[event.kind] = self.counts.get(event.kind, 0) + 1

@@ -164,6 +164,51 @@ class SanitizerFinding:
     warp_slot: int
 
 
+@dataclass(frozen=True)
+class CheckpointSaved:
+    """The simulation's complete machine state was written to disk at an
+    epoch boundary (see :mod:`repro.sim.checkpoint`)."""
+
+    kind = "checkpoint_saved"
+    cycle: int
+    path: str
+    size_bytes: int
+
+
+@dataclass(frozen=True)
+class RunResumed:
+    """A simulation was restored from a checkpoint instead of restarting
+    from cycle 0 (``cycle`` is the resume point)."""
+
+    kind = "run_resumed"
+    cycle: int
+    path: str
+    spec_hash: str
+
+
+@dataclass(frozen=True)
+class CorruptEntryQuarantined:
+    """The lab cache found an entry failing its content checksum and
+    moved it aside (never served, never silently deleted).  ``cycle``
+    is 0: this is a lab-level event, not a simulated-time one."""
+
+    kind = "corrupt_entry_quarantined"
+    cycle: int
+    path: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class WorkerLost:
+    """A pool worker died mid-run (SIGKILL, OOM, crash); the in-flight
+    spec was re-queued.  ``cycle`` is 0 (lab-level event)."""
+
+    kind = "worker_lost"
+    cycle: int
+    spec_hash: str
+    requeued: bool
+
+
 #: Every event type, in taxonomy order (reporting / docs / tests).
 EVENT_TYPES: Tuple[type, ...] = (
     SIBDetected,
@@ -177,6 +222,10 @@ EVENT_TYPES: Tuple[type, ...] = (
     BarrierRelease,
     HangSuspected,
     SanitizerFinding,
+    CheckpointSaved,
+    RunResumed,
+    CorruptEntryQuarantined,
+    WorkerLost,
 )
 
 #: kind string -> event class (deserialization).

@@ -117,8 +117,8 @@ class GPU:
         #: :mod:`repro.sim.sm`.
         self.engine = engine
 
-    def launch(self, launch: KernelLaunch) -> SimResult:
-        """Run ``launch`` to completion and return statistics."""
+    def begin(self, launch: KernelLaunch) -> "Simulation":
+        """Construct (but do not run) a resumable simulation of ``launch``."""
         config = self.config
         stats = SimStats()
         memsys = MemorySubsystem(config)
@@ -155,105 +155,280 @@ class GPU:
                 f"warps; SM holds only {config.max_warps_per_sm}"
             )
 
-        next_cta = 0
-        age_counter = 0
-
-        def dispatch() -> None:
-            nonlocal next_cta, age_counter
-            for sm in sms:
-                while (
-                    next_cta < launch.grid_dim
-                    and sm.can_accept_cta(warps_per_cta)
-                ):
-                    sm.launch_cta(
-                        cta_id=next_cta,
-                        warps_per_cta=warps_per_cta,
-                        cta_dim=launch.block_dim,
-                        grid_dim=launch.grid_dim,
-                        age_base=age_counter,
-                    )
-                    next_cta += 1
-                    age_counter += warps_per_cta
-
-        dispatch()
-        monitor: Optional[ProgressMonitor] = None
+        sim = Simulation(
+            config=config,
+            launch=launch,
+            memory=self.memory,
+            memsys=memsys,
+            stats=stats,
+            sms=sms,
+            lock_table=lock_table,
+            tracer=self.tracer,
+            obs=obs,
+            sanitizer=sanitizer,
+            engine=self.engine,
+            warps_per_cta=warps_per_cta,
+        )
+        sim._dispatch()
         if config.no_progress_window > 0:
-            monitor = ProgressMonitor(
+            sim.monitor = ProgressMonitor(
                 config, sms, self.memory, stats, tracer=self.tracer,
                 bus=bus,
             )
-        sampler = None
         if obs is not None:
-            sampler = obs.begin_run(
+            sim.sampler = obs.begin_run(
                 stats, memsys.stats, warp_size=config.warp_size
             )
-        now = 0
-        # Bound methods hoisted out of the cycle loop.
+        return sim
+
+    def launch(self, launch: KernelLaunch) -> SimResult:
+        """Run ``launch`` to completion and return statistics."""
+        return self.begin(launch).run()
+
+
+class Simulation:
+    """One in-flight kernel execution, advanceable and checkpointable.
+
+    Created by :meth:`GPU.begin`; :meth:`run` drives it to completion
+    (optionally autocheckpointing every N cycles), :meth:`run_until`
+    advances to a cycle boundary, and :meth:`checkpoint` captures the
+    complete machine state as a :class:`~repro.sim.checkpoint.SimCheckpoint`.
+
+    Checkpoints are only ever taken *between* loop iterations — the
+    state is exactly "about to execute cycle ``now``" — which is what
+    makes a resumed run bitwise-identical to an uninterrupted one.  The
+    object pickles as a whole graph: classes that hold closures
+    (pre-bound emitters, the decoded program) drop them in their own
+    ``__getstate__`` and :meth:`_rebind` rebuilds every one of them
+    after restore, so ordering hazards between partially-restored
+    objects cannot arise.
+    """
+
+    def __init__(self, config, launch, memory, memsys, stats, sms,
+                 lock_table, tracer, obs, sanitizer, engine,
+                 warps_per_cta) -> None:
+        self.config = config
+        self.launch = launch
+        self.memory = memory
+        self.memsys = memsys
+        self.stats = stats
+        self.sms = sms
+        self.lock_table = lock_table
+        self.tracer = tracer
+        self.obs = obs
+        self.sanitizer = sanitizer
+        self.engine = engine
+        self.warps_per_cta = warps_per_cta
+        self.monitor: Optional[ProgressMonitor] = None
+        self.sampler = None
+        self.now = 0
+        self.next_cta = 0
+        self.age_counter = 0
+        self.finished = False
+        self.result: Optional[SimResult] = None
+
+    # -- dispatch -------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        launch = self.launch
+        warps_per_cta = self.warps_per_cta
+        for sm in self.sms:
+            while (
+                self.next_cta < launch.grid_dim
+                and sm.can_accept_cta(warps_per_cta)
+            ):
+                sm.launch_cta(
+                    cta_id=self.next_cta,
+                    warps_per_cta=warps_per_cta,
+                    cta_dim=launch.block_dim,
+                    grid_dim=launch.grid_dim,
+                    age_base=self.age_counter,
+                )
+                self.next_cta += 1
+                self.age_counter += warps_per_cta
+
+    # -- the cycle loop -------------------------------------------------
+
+    def _advance(self, stop_cycle: Optional[int] = None) -> bool:
+        """Advance until completion (→ True) or ``now >= stop_cycle``
+        at an iteration boundary (→ False).  Raises on hang/timeout."""
+        if self.finished:
+            return True
+        config = self.config
+        launch = self.launch
+        sms = self.sms
+        monitor = self.monitor
+        sampler = self.sampler
+        bus = self.obs.bus if self.obs is not None else None
+        stats = self.stats
+        now = self.now
+        # Bound methods hoisted out of the cycle loop (locals only —
+        # rebuilt on every call, never part of checkpointed state).
         steps = [sm.step for sm in sms]
         next_events = [sm.next_event for sm in sms]
         occupancies = [sm.accumulate_occupancy for sm in sms]
-        while True:
-            issued = 0
-            for step in steps:
-                issued += step(now)
-            if next_cta < launch.grid_dim:
-                dispatch()  # refill any SM that freed CTA slots
-            if next_cta >= launch.grid_dim and all(sm.idle for sm in sms):
-                break
-            if sampler is not None and now >= sampler.next_sample:
-                sampler.sample(now)  # before the monitor, which can raise
-            if monitor is not None and now >= monitor.next_sample:
-                monitor.sample(now)  # raises on a classified hang
-            if now >= config.max_cycles:
-                report = None
-                if monitor is not None:
-                    report = monitor.timeout_report(now)
+        try:
+            while True:
+                if stop_cycle is not None and now >= stop_cycle:
+                    return False
+                issued = 0
+                for step in steps:
+                    issued += step(now)
+                if self.next_cta < launch.grid_dim:
+                    self._dispatch()  # refill any SM that freed CTA slots
+                if (self.next_cta >= launch.grid_dim
+                        and all(sm.idle for sm in sms)):
+                    break
+                if sampler is not None and now >= sampler.next_sample:
+                    sampler.sample(now)  # before the monitor, which can raise
+                if monitor is not None and now >= monitor.next_sample:
+                    monitor.sample(now)  # raises on a classified hang
+                if now >= config.max_cycles:
+                    report = None
+                    if monitor is not None:
+                        report = monitor.timeout_report(now)
+                    else:
+                        report = build_hang_report(
+                            "timeout", now, sms, memory=self.memory,
+                            stats=stats, tracer=self.tracer,
+                            reason="exceeded max_cycles (watchdog disabled)",
+                            bus=bus,
+                        )
+                    raise SimulationTimeout(
+                        f"kernel {launch.program.name!r} exceeded "
+                        f"{config.max_cycles} cycles\n" + report.describe(),
+                        report,
+                    )
+                if issued:
+                    next_now = now + 1
                 else:
-                    report = build_hang_report(
-                        "timeout", now, sms, memory=self.memory,
-                        stats=stats, tracer=self.tracer,
-                        reason="exceeded max_cycles (watchdog disabled)",
-                        bus=bus,
-                    )
-                raise SimulationTimeout(
-                    f"kernel {launch.program.name!r} exceeded "
-                    f"{config.max_cycles} cycles\n" + report.describe(),
-                    report,
-                )
-            if issued:
-                next_now = now + 1
-            else:
-                events = [
-                    e for e in (ne(now) for ne in next_events)
-                    if e is not None
-                ]
-                if not events:
-                    report = build_hang_report(
-                        "deadlock", now, sms, memory=self.memory,
-                        stats=stats, tracer=self.tracer,
-                        reason="no warp can ever become ready again",
-                        bus=bus,
-                    )
-                    raise SimulationDeadlock(report.describe(), report)
-                next_now = min(events)
-            dt = next_now - now
-            for occupancy in occupancies:
-                occupancy(dt)
-            now = next_now
+                    events = [
+                        e for e in (ne(now) for ne in next_events)
+                        if e is not None
+                    ]
+                    if not events:
+                        report = build_hang_report(
+                            "deadlock", now, sms, memory=self.memory,
+                            stats=stats, tracer=self.tracer,
+                            reason="no warp can ever become ready again",
+                            bus=bus,
+                        )
+                        raise SimulationDeadlock(report.describe(), report)
+                    next_now = min(events)
+                dt = next_now - now
+                for occupancy in occupancies:
+                    occupancy(dt)
+                now = next_now
+        finally:
+            self.now = now
+        self._finish()
+        return True
 
+    def _finish(self) -> SimResult:
+        stats = self.stats
+        now = self.now
         stats.cycles = now
-        stats.memory.merge(memsys.stats)
-        if obs is not None:
-            obs.end_run(now)
-        energy = EnergyModel(num_sms=config.num_sms).evaluate(stats)
+        stats.memory.merge(self.memsys.stats)
+        if self.obs is not None:
+            self.obs.end_run(now)
+        energy = EnergyModel(num_sms=self.config.num_sms).evaluate(stats)
         stats.dynamic_energy_pj = energy.total_pj
-        return SimResult(
+        self.finished = True
+        self.result = SimResult(
             stats=stats,
             cycles=now,
             memory=self.memory,
-            config=config,
-            launch=launch,
-            sms=sms,
-            obs=obs,
-            sanitizer=sanitizer,
+            config=self.config,
+            launch=self.launch,
+            sms=self.sms,
+            obs=self.obs,
+            sanitizer=self.sanitizer,
         )
+        return self.result
+
+    # -- public driving -------------------------------------------------
+
+    def run_until(self, cycle: int) -> bool:
+        """Advance to the first iteration boundary at/after ``cycle``;
+        returns True when the kernel completed before reaching it."""
+        return self._advance(stop_cycle=cycle)
+
+    def run(self, checkpoint_every=None, checkpoint_path=None) -> SimResult:
+        """Drive the simulation to completion.
+
+        With ``checkpoint_every`` (``True`` → ``config.progress_epoch``
+        cycles, or an explicit positive cycle count), the machine state
+        is saved to ``checkpoint_path`` between advance chunks, so a
+        run killed or timed out mid-flight resumes from the last epoch
+        instead of restarting.  The final checkpoint file is removed on
+        successful completion by the *lab* layer (which owns retries),
+        not here.
+        """
+        interval = self._resolve_interval(checkpoint_every)
+        if interval is None:
+            self._advance()
+            return self.result
+        if checkpoint_path is None:
+            raise ValueError(
+                "checkpoint_every requires checkpoint_path "
+                "(where should the state go?)"
+            )
+        while True:
+            if self._advance(stop_cycle=self.now + interval):
+                return self.result
+            self.save_checkpoint(checkpoint_path)
+
+    def _resolve_interval(self, checkpoint_every) -> Optional[int]:
+        if checkpoint_every is None or checkpoint_every is False:
+            return None
+        if checkpoint_every is True:
+            return self.config.progress_epoch
+        interval = int(checkpoint_every)
+        if interval <= 0:
+            raise ValueError(
+                f"checkpoint_every must be positive, got {checkpoint_every}"
+            )
+        return interval
+
+    # -- checkpointing --------------------------------------------------
+
+    def checkpoint(self):
+        """Capture the full machine state (see :mod:`repro.sim.checkpoint`)."""
+        from repro.sim.checkpoint import SimCheckpoint
+
+        return SimCheckpoint.capture(self)
+
+    def save_checkpoint(self, path):
+        """Capture + atomically write a checkpoint, emitting
+        :class:`~repro.obs.events.CheckpointSaved` when a bus is attached."""
+        saved = self.checkpoint().save(path)
+        bus = self.obs.bus if self.obs is not None else None
+        if bus is not None:
+            from repro.obs.events import CheckpointSaved
+
+            bus.publish(CheckpointSaved(
+                cycle=self.now,
+                path=str(saved),
+                size_bytes=saved.stat().st_size,
+            ))
+        return saved
+
+    # -- pickling -------------------------------------------------------
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._rebind()
+
+    def _rebind(self) -> None:
+        """Rebuild every closure dropped by ``__getstate__`` hooks.
+
+        Runs once, after the *entire* object graph has been restored, so
+        no hook ever touches a partially-restored peer.
+        """
+        bus = self.obs.bus if self.obs is not None else None
+        for sm in self.sms:
+            sm._rebind_events(bus)
+        if self.monitor is not None:
+            self.monitor._rebind_events(bus)
+        if self.sanitizer is not None:
+            self.sanitizer._rebind_events()

@@ -411,6 +411,22 @@ class ProgressMonitor:
         self._baseline_issued: Dict[Tuple, int] = {}
         self._reset_window(0)
 
+    def __getstate__(self):
+        """Checkpointing: drop the emitter closure; every witness
+        (baselines, footprints, window bases) pickles as-is."""
+        state = self.__dict__.copy()
+        state["_emit_hang"] = None
+        return state
+
+    def _rebind_events(self, bus) -> None:
+        self.bus = bus
+        if bus is not None:
+            from repro.obs.events import HangSuspected
+            self._emit_hang = bus.emitter(HangSuspected)
+        else:
+            from repro.obs.bus import null_emitter
+            self._emit_hang = null_emitter
+
     # ------------------------------------------------------------------
 
     def _global_digest(self) -> Dict[str, int]:

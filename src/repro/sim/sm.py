@@ -192,6 +192,58 @@ class SM:
             self.next_event = self._next_event_fast
 
     # ------------------------------------------------------------------
+    # Checkpointing
+
+    def __getstate__(self):
+        """Drop the closures (emitters, decoded program) for pickling.
+
+        Everything else — warps, schedulers, ready sets, wait heap,
+        BOWS/DDOS units — pickles as-is with shared identity preserved;
+        :meth:`repro.sim.gpu.Simulation._rebind` calls
+        :meth:`_rebind_events` after the whole graph is restored.
+        """
+        state = self.__dict__.copy()
+        state["_emit_lock_ok"] = None
+        state["_emit_lock_fail"] = None
+        state["_emit_bar_arrive"] = None
+        state["_emit_bar_release"] = None
+        if self._fast:
+            state["_decoded_prog"] = None
+        return state
+
+    def _rebind_events(self, bus) -> None:
+        """Rebuild dropped closures after a checkpoint restore."""
+        if bus is not None:
+            self._emit_lock_ok = bus.emitter(LockAcquireSuccess)
+            self._emit_lock_fail = bus.emitter(LockAcquireFail)
+            self._emit_bar_arrive = bus.emitter(BarrierArrive)
+            self._emit_bar_release = bus.emitter(BarrierRelease)
+        else:
+            self._emit_lock_ok = null_emitter
+            self._emit_lock_fail = null_emitter
+            self._emit_bar_arrive = null_emitter
+            self._emit_bar_release = null_emitter
+        if self.bows is not None:
+            self.bows._rebind_events(bus)
+        if self.ddos is not None:
+            self.ddos._rebind_events(bus)
+        if self._fast:
+            # Re-decode deterministically; each live warp's cached op is
+            # re-derived from its restored PC.  The pickled _sb_max /
+            # _ready_from ints are kept verbatim (recomputing them could
+            # observe a differently-pruned scoreboard).
+            self._decoded_prog = decode_program(
+                self.program, self.config, self.params
+            )
+            ops = self._decoded_prog.ops
+            for warp in self.warps.values():
+                # Finished warps never issue again (the live engine stops
+                # refreshing them, and their PC may sit past the program
+                # end); leave their cache unset.
+                if not warp.finished:
+                    warp._decoded = ops[warp.stack.pc]
+
+    # ------------------------------------------------------------------
     # CTA residency
 
     def can_accept_cta(self, warps_per_cta: int) -> bool:

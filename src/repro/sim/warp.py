@@ -105,6 +105,14 @@ class Warp:
         self._sb_max = 0
         self._ready_from = 0
 
+    def __getstate__(self):
+        """Checkpointing: drop the cached DecodedOp (closure-bound); the
+        SM re-derives it from the restored PC in ``_rebind_events``.
+        ``_sb_max`` / ``_ready_from`` are plain ints and ride along."""
+        state = self.__dict__.copy()
+        state["_decoded"] = None
+        return state
+
     # ------------------------------------------------------------------
 
     @property

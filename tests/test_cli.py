@@ -181,7 +181,7 @@ def test_fuzz_hang_exits_3(capsys, monkeypatch):
 
     original = fuzz_harness.ScheduleFuzzer.run
 
-    def run_with_stub(self, seeds, runner=None, shrink=True):
+    def run_with_stub(self, seeds, runner=None, shrink=True, **kwargs):
         from repro.lab import Runner as LabRunner
 
         def hang_on_zero(spec):
@@ -195,7 +195,7 @@ def test_fuzz_hang_exits_3(capsys, monkeypatch):
 
         return original(self, seeds, runner=LabRunner(workers=1,
                                                       run_fn=hang_on_zero),
-                        shrink=shrink)
+                        shrink=shrink, **kwargs)
 
     monkeypatch.setattr(fuzz_harness.ScheduleFuzzer, "run", run_with_stub)
     code = main(["fuzz", "vecadd", "--seeds", "2",
@@ -213,7 +213,7 @@ def test_fuzz_sanitize_race_exits_4(capsys, monkeypatch):
 
     original = fuzz_harness.ScheduleFuzzer.run
 
-    def run_with_stub(self, seeds, runner=None, shrink=True):
+    def run_with_stub(self, seeds, runner=None, shrink=True, **kwargs):
         from repro.lab import Runner as LabRunner
         from repro.lab.results import RunResult
         from repro.metrics.stats import SimStats
@@ -232,7 +232,7 @@ def test_fuzz_sanitize_race_exits_4(capsys, monkeypatch):
 
         return original(self, seeds,
                         runner=LabRunner(workers=1, run_fn=racy),
-                        shrink=shrink)
+                        shrink=shrink, **kwargs)
 
     monkeypatch.setattr(fuzz_harness.ScheduleFuzzer, "run", run_with_stub)
     code = main(["fuzz", "vecadd", "--seeds", "1", "--sanitize",

@@ -91,6 +91,49 @@ def test_engines_identical_on_pascal_preset():
     assert fast.stats.summary() == reference.stats.summary()
 
 
+def _begin(kernel: str, config: GPUConfig, engine: str,
+           obs=None, sanitize=None):
+    """A live mid-runnable Simulation over a fresh workload build."""
+    from repro.kernels import build as build_workload
+    from repro.sim.gpu import GPU
+
+    workload = build_workload(kernel, **PARAMS[kernel])
+    gpu = GPU(config, memory=workload.memory, engine=engine, obs=obs,
+              sanitizer=sanitize)
+    return workload, gpu.begin(workload.launch)
+
+
+@pytest.mark.parametrize("engine", ["reference", "fast"])
+@pytest.mark.parametrize("kernel, preset_kwargs", CONFIGS)
+def test_checkpoint_resume_is_bitwise_identical(kernel, preset_kwargs,
+                                                engine):
+    """Checkpoint/resume is invisible to the golden contract: for every
+    configuration in the matrix, stopping mid-run, serializing the
+    complete machine state through bytes, and resuming in a fresh object
+    graph lands on the same cycles, the same full stats summary, and a
+    validating memory image as the uninterrupted run — with and without
+    observability and the sanitizer attached."""
+    from repro.sim.checkpoint import checkpoint_bytes_roundtrip
+
+    config = GPUConfig.preset("fermi", **preset_kwargs)
+    baseline = _run(kernel, config, engine)
+    mid = max(1, baseline.cycles // 2)
+    for mode in ("plain", "obs", "sanitize"):
+        workload, sim = _begin(
+            kernel, config, engine,
+            obs=True if mode == "obs" else None,
+            sanitize=True if mode == "sanitize" else None,
+        )
+        sim.run_until(mid)
+        assert not sim.finished, mode
+        restored = checkpoint_bytes_roundtrip(sim)
+        assert restored is not sim
+        result = restored.run()
+        assert result.stats.summary() == baseline.stats.summary(), mode
+        assert result.cycles == baseline.cycles, mode
+        workload.validate(result.memory)
+
+
 @pytest.mark.parametrize("kernel", ["ht", "nw1"])
 def test_sanitizer_is_invisible_to_the_golden_contract(kernel):
     """The dynamic sanitizer is a pure observer: with it on, both

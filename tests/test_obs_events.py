@@ -39,6 +39,13 @@ EXAMPLES = {
                            reason="no progress"),
     "sanitizer": dict(cycle=20, diag_id="SAN001", severity="error",
                       pc=24, warp_slot=2),
+    "checkpoint_saved": dict(cycle=25_000, path="/tmp/run.ckpt",
+                             size_bytes=123_456),
+    "run_resumed": dict(cycle=25_000, path="/tmp/run.ckpt",
+                        spec_hash="a" * 64),
+    "corrupt_entry_quarantined": dict(cycle=0, path=".lab_cache/x.json",
+                                      reason="checksum mismatch"),
+    "worker_lost": dict(cycle=0, spec_hash="a" * 64, requeued=True),
 }
 
 
@@ -47,7 +54,7 @@ def example(cls):
 
 
 def test_taxonomy_is_complete_and_consistent():
-    assert len(EVENT_TYPES) == 11
+    assert len(EVENT_TYPES) == 15
     assert set(EVENT_KINDS) == set(EXAMPLES)
     for cls in EVENT_TYPES:
         assert EVENT_KINDS[cls.kind] is cls

@@ -1,0 +1,461 @@
+"""Crash injection and recovery: the lab survives everything short of
+losing the disk.
+
+Covers the recovery matrix of ``docs/robustness.md``: a SIGKILLed pool
+worker (re-queued exactly once, for free), a SIGKILLed *parent* (sweep
+completed from its journal without recomputing finished specs), a torn
+cache write (quarantined, then recomputed), concurrent Runners sharing
+one cache directory, graceful SIGINT draining, and the SIGALRM
+save/restore contract of the per-run timeout.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.harness.runner import make_config
+from repro.lab import (FileLock, LockTimeout, ResultCache, Runner, RunSpec,
+                       decorrelated_jitter, load_journal, resume_sweep)
+from repro.lab import _testing
+from repro.lab.journal import JournalError, SweepJournal
+from repro.lab.runner import _run_with_timeout
+from repro.obs import EventBus
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _spec(seed: int = 0) -> RunSpec:
+    """Tiny distinct specs (the injected run_fns never build them)."""
+    return RunSpec(kernel="ht", config=make_config("gto"), seed=seed,
+                   label=f"spec{seed}")
+
+
+def _python(code: str, *argv: str, env_extra=None) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (str(ROOT / "src") + os.pathsep
+                         + env.get("PYTHONPATH", ""))
+    env.update(env_extra or {})
+    return subprocess.Popen([sys.executable, "-c", code, *argv], env=env,
+                            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                            text=True)
+
+
+# ---------------------------------------------------------------------------
+# Backoff + locking primitives
+
+
+def test_decorrelated_jitter_is_bounded_and_grows():
+    rng = random.Random(7)
+    assert decorrelated_jitter(1.0, 0.0, 10.0, rng) == 0.0
+    delay = 0.0
+    for _ in range(50):
+        delay = decorrelated_jitter(delay, 0.05, 2.0, rng)
+        assert 0.05 <= delay <= 2.0
+
+
+def test_filelock_excludes_a_second_acquirer(tmp_path):
+    pytest.importorskip("fcntl")
+    lock_path = tmp_path / ".lock"
+    with FileLock(lock_path):
+        second = FileLock(lock_path, timeout_s=0.2, poll_s=0.02)
+        start = time.monotonic()
+        with pytest.raises(LockTimeout):
+            second.acquire()
+        assert time.monotonic() - start >= 0.2
+    # Released: immediately acquirable again.
+    with FileLock(lock_path, timeout_s=0.2):
+        pass
+
+
+def test_filelock_is_released_when_the_holder_is_sigkilled(tmp_path):
+    pytest.importorskip("fcntl")
+    lock_path = tmp_path / ".lock"
+    ready = tmp_path / "ready"
+    holder = _python(
+        "import sys, time\n"
+        "from pathlib import Path\n"
+        "from repro.lab import FileLock\n"
+        "lock = FileLock(sys.argv[1]).acquire()\n"
+        "Path(sys.argv[2]).touch()\n"
+        "time.sleep(30)\n",
+        str(lock_path), str(ready),
+    )
+    try:
+        deadline = time.monotonic() + 10
+        while not ready.exists():
+            assert time.monotonic() < deadline, holder.stderr.read()
+            time.sleep(0.02)
+        with pytest.raises(LockTimeout):
+            FileLock(lock_path, timeout_s=0.2, poll_s=0.02).acquire()
+        holder.kill()
+        holder.wait(timeout=10)
+        # The kernel dropped the flock with the process: no stuck lock.
+        with FileLock(lock_path, timeout_s=2.0):
+            pass
+    finally:
+        if holder.poll() is None:
+            holder.kill()
+        holder.wait(timeout=10)
+
+
+# ---------------------------------------------------------------------------
+# Durable cache: torn writes, quarantine, verify/repair
+
+
+def _entry_path(cache: ResultCache, spec: RunSpec) -> Path:
+    return cache._entry_path(spec.content_hash())
+
+
+def test_torn_write_is_quarantined_then_recomputed(tmp_path):
+    bus = EventBus()
+    cache = ResultCache(tmp_path / "cache", bus=bus)
+    runner = Runner(cache=cache, run_fn=_testing.instant_ok)
+    spec = _spec(0)
+    assert runner.run_many([spec]).executed == 1
+
+    # Tear the entry the way a crashed non-atomic writer would.
+    path = _entry_path(cache, spec)
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+
+    # The torn entry is a miss (never a crash, never a wrong result)...
+    assert cache.get(spec) is None
+    quarantined = list((tmp_path / "cache" / "quarantine").iterdir())
+    assert len(quarantined) == 1
+    assert bus.counts.get("corrupt_entry_quarantined") == 1
+
+    # ...and the slot recomputes cleanly on the next batch.
+    report = Runner(cache=cache, run_fn=_testing.instant_ok).run_many([spec])
+    assert report.executed == 1
+    assert cache.get(spec) is not None
+
+
+def test_cache_verify_reports_and_repairs(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    specs = [_spec(i) for i in range(3)]
+    Runner(cache=cache, run_fn=_testing.instant_ok).run_many(specs)
+
+    victim = _entry_path(cache, specs[1])
+    victim.write_text(victim.read_text()[:-30] + "}")  # corrupt the body
+
+    scan = cache.verify()
+    assert len(scan.entries) == 3
+    assert [e.status for e in scan.entries].count("ok") == 2
+    assert len(scan.corrupt) == 1 and not scan.ok
+    assert scan.corrupt[0].spec_hash == specs[1].content_hash()
+    assert all(e.size_bytes > 0 for e in scan.entries)
+    assert victim.exists()  # read-only scan
+
+    repaired = cache.verify(repair=True)
+    assert len(repaired.quarantined) == 1
+    assert not victim.exists()
+    assert cache.verify().ok
+    assert cache.stats().quarantined_entries == 1
+
+
+def test_cache_verify_cli_exit_codes(tmp_path):
+    from repro.cli import main
+
+    cache = ResultCache(tmp_path / "cache")
+    spec = _spec(0)
+    Runner(cache=cache, run_fn=_testing.instant_ok).run_many([spec])
+    assert main(["cache", "verify", "--cache-dir",
+                 str(tmp_path / "cache")]) == 0
+
+    _entry_path(cache, spec).write_text("{garbage")
+    assert main(["cache", "verify", "--cache-dir",
+                 str(tmp_path / "cache")]) == 1
+    assert main(["cache", "verify", "--repair", "--cache-dir",
+                 str(tmp_path / "cache")]) == 0
+    assert main(["cache", "verify", "--cache-dir",
+                 str(tmp_path / "cache")]) == 0
+
+
+# ---------------------------------------------------------------------------
+# Journal
+
+
+def test_journal_round_trip_and_pending(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    specs = [_spec(i) for i in range(3)]
+    with SweepJournal(path) as journal:
+        for spec in specs:
+            journal.record_spec(spec)
+            journal.record_spec(spec)  # idempotent
+        journal.record_done(specs[0].content_hash(), from_cache=False,
+                            cycles=11)
+        journal.record_failed(specs[1].content_hash(),
+                              error_type="RunTimeout", transient=True)
+    state = load_journal(path)
+    assert len(state.specs) == 3
+    assert state.executed == 1 and state.cache_hits == 0
+    assert [s.content_hash() for s in state.pending] == [
+        specs[1].content_hash(), specs[2].content_hash()]
+    rebuilt = state.specs[specs[0].content_hash()]
+    assert rebuilt.content_hash() == specs[0].content_hash()
+    assert rebuilt.label == specs[0].label
+
+
+def test_journal_tolerates_a_torn_final_line(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    with SweepJournal(path) as journal:
+        journal.record_spec(_spec(0))
+        journal.record_done(_spec(0).content_hash(), from_cache=False,
+                            cycles=5)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"type": "done", "hash": "abc')  # SIGKILL mid-write
+    state = load_journal(path)
+    assert state.skipped_lines == 1
+    assert len(state.done) == 1
+
+
+def test_empty_journal_is_an_error(tmp_path):
+    with pytest.raises(JournalError):
+        load_journal(tmp_path / "missing.jsonl")
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text('{"type": "note", "note": "hello"}\n')
+    with pytest.raises(JournalError, match="no spec records"):
+        load_journal(empty)
+
+
+# ---------------------------------------------------------------------------
+# Worker loss
+
+
+def test_sigkilled_worker_is_requeued_once_and_batch_completes(
+        tmp_path, monkeypatch):
+    monkeypatch.setenv(_testing.SENTINEL_ENV, str(tmp_path / "sentinel"))
+    bus = EventBus()
+    runner = Runner(workers=2, mode="process",
+                    run_fn=_testing.kill_worker_once,
+                    retries=1, backoff_base_s=0.0, bus=bus)
+    report = runner.run_many([_spec(i) for i in range(3)])
+    assert [r.ok for r in report.results] == [True, True, True]
+    # The victim (and any innocent in-flight specs) were re-queued for
+    # free: nobody's attempt counter reflects the worker death.
+    assert all(r.attempts == 1 for r in report.results)
+    assert report.worker_losses >= 1
+    events = list(bus.events("worker_lost"))
+    assert events and all(e.requeued for e in events)
+
+
+def test_repeated_worker_loss_consumes_the_retry_budget(
+        tmp_path, monkeypatch):
+    monkeypatch.setenv(_testing.SENTINEL_ENV, str(tmp_path / "sentinel"))
+    runner = Runner(workers=1, mode="process", run_fn=_testing.kill_always,
+                    retries=1, backoff_base_s=0.0)
+    report = runner.run_many([_spec(0)])
+    (failure,) = report.results
+    assert not failure.ok
+    assert failure.error_type == "BrokenProcessPool"
+    assert failure.transient
+    # One free re-queue + the budgeted attempts: 1 original + 1 retry.
+    assert failure.attempts == 2
+    assert report.worker_losses == 3
+
+
+# ---------------------------------------------------------------------------
+# Parent SIGKILL -> resume without recomputation
+
+
+def test_sigkilled_sweep_is_completed_by_resume_without_recompute(tmp_path):
+    cache_dir = tmp_path / "cache"
+    journal_path = tmp_path / "sweep.jsonl"
+    crasher = _python(
+        "import os, signal, sys\n"
+        "from repro.harness.runner import make_config\n"
+        "from repro.lab import ResultCache, Runner, RunSpec\n"
+        "from repro.lab.journal import SweepJournal\n"
+        "from repro.lab._testing import instant_ok\n"
+        "specs = [RunSpec(kernel='ht', config=make_config('gto'), seed=i,\n"
+        "                 label=f'spec{i}') for i in range(4)]\n"
+        "done = 0\n"
+        "def note(message):\n"
+        "    global done\n"
+        "    if ': ok' in message:\n"
+        "        done += 1\n"
+        "        if done == 2:\n"
+        "            os.kill(os.getpid(), signal.SIGKILL)\n"
+        "runner = Runner(cache=ResultCache(sys.argv[1]), run_fn=instant_ok,\n"
+        "                progress=note)\n"
+        "with SweepJournal(sys.argv[2]) as journal:\n"
+        "    runner.run_many(specs, journal=journal)\n",
+        str(cache_dir), str(journal_path),
+    )
+    _, stderr = crasher.communicate(timeout=60)
+    assert crasher.returncode == -signal.SIGKILL, stderr
+
+    # The journal survived the kill: all specs, exactly 2 done records.
+    state = load_journal(journal_path)
+    assert len(state.specs) == 4
+    assert len(state.done) == 2 and state.executed == 2
+    assert len(state.pending) == 2
+
+    # Resume finishes the batch; the finished specs come back from the
+    # cache (no recomputation), journaled as cache-hit done records.
+    runner = Runner(cache=ResultCache(cache_dir),
+                    run_fn=_testing.instant_ok)
+    report = resume_sweep(journal_path, runner=runner)
+    assert report.total == 4 and not report.failures
+    assert report.cache_hits == 2 and report.executed == 2
+    final = load_journal(journal_path)
+    assert len(final.done) == 4 and not final.pending
+    # Last record per hash wins: the two originally-executed specs now
+    # show their resume-time cache hits, the two new ones executed.
+    assert final.cache_hits == 2 and final.executed == 2
+
+
+# ---------------------------------------------------------------------------
+# Concurrent runners, one cache
+
+
+def test_concurrent_runners_share_one_cache_without_torn_entries(tmp_path):
+    cache_dir = tmp_path / "cache"
+    worker_code = (
+        "import sys\n"
+        "from repro.harness.runner import make_config\n"
+        "from repro.lab import ResultCache, Runner, RunSpec\n"
+        "from repro.lab._testing import instant_ok\n"
+        "specs = [RunSpec(kernel='ht', config=make_config('gto'), seed=i,\n"
+        "                 label=f'spec{i}') for i in range(6)]\n"
+        "report = Runner(cache=ResultCache(sys.argv[1]),\n"
+        "                run_fn=instant_ok).run_many(specs)\n"
+        "assert not report.failures\n"
+    )
+    procs = [_python(worker_code, str(cache_dir)) for _ in range(2)]
+    for proc in procs:
+        _, stderr = proc.communicate(timeout=60)
+        assert proc.returncode == 0, stderr
+
+    cache = ResultCache(cache_dir)
+    scan = cache.verify()
+    assert scan.ok
+    assert len(scan.entries) == 6  # one entry per spec, no duplicates
+    for seed in range(6):
+        assert cache.get(_spec(seed)) is not None
+    assert not (cache_dir / "quarantine").exists()
+
+
+# ---------------------------------------------------------------------------
+# Graceful draining
+
+
+def test_first_sigint_drains_and_records_the_rest_as_interrupted():
+    calls = []
+
+    def run_fn(spec):
+        calls.append(spec.label)
+        os.kill(os.getpid(), signal.SIGINT)  # arrives before the return
+        return _testing.fabricate_result(spec)
+
+    report = Runner(run_fn=run_fn).run_many([_spec(i) for i in range(3)])
+    assert calls == ["spec0"]  # in-flight run finished, rest never ran
+    assert report.interrupted
+    assert report.results[0].ok
+    for failure in report.results[1:]:
+        assert not failure.ok
+        assert failure.error_type == "RunInterrupted"
+        assert failure.transient
+    # The batch handler was uninstalled afterwards.
+    assert signal.getsignal(signal.SIGINT) is signal.default_int_handler
+
+
+# ---------------------------------------------------------------------------
+# SIGALRM timeout hygiene (the seed leaked/clobbered the caller's alarm)
+
+
+def test_run_with_timeout_restores_prior_handler_and_itimer():
+    fired = []
+
+    def prior(signum, frame):
+        fired.append(signum)
+
+    old_handler = signal.signal(signal.SIGALRM, prior)
+    signal.setitimer(signal.ITIMER_REAL, 30.0)
+    try:
+        result = _run_with_timeout(
+            _testing.fabricate_result, _spec(0), 0.5)
+        assert result.ok
+        # Handler AND timer back: the caller's alarm still pending.
+        assert signal.getsignal(signal.SIGALRM) is prior
+        remaining, interval = signal.setitimer(signal.ITIMER_REAL, 0.0)
+        assert 0.0 < remaining <= 30.0
+        assert interval == 0.0
+        assert not fired
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, old_handler)
+
+
+def test_run_with_timeout_no_prior_timer_leaves_none_armed():
+    old_handler = signal.getsignal(signal.SIGALRM)
+    result = _run_with_timeout(_testing.fabricate_result, _spec(0), 0.5)
+    assert result.ok
+    assert signal.getsignal(signal.SIGALRM) is old_handler
+    assert signal.setitimer(signal.ITIMER_REAL, 0.0) == (0.0, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# Mid-simulation checkpoint/resume through the lab entry point
+
+PARAMS = dict(n_threads=128, n_buckets=8, items_per_thread=1, block_dim=64)
+
+
+def _sim_spec() -> RunSpec:
+    from repro.obs import ObsConfig
+
+    return RunSpec(kernel="ht", config=make_config("gto"), params=PARAMS,
+                   obs=ObsConfig(), label="ht-ckpt")
+
+
+def test_execute_run_resumes_from_a_live_checkpoint(tmp_path):
+    from repro.kernels import build as build_workload
+    from repro.lab.runner import execute_run
+    from repro.obs import Observability
+    from repro.sim.gpu import GPU
+
+    spec = _sim_spec()
+    baseline = execute_run(spec)
+
+    # A previous attempt got partway and was killed: reproduce its
+    # checkpoint by advancing a fresh simulation to a mid-run epoch.
+    workload = build_workload(spec.kernel, **spec.build_params())
+    gpu = GPU(spec.config, memory=workload.memory, engine=spec.engine,
+              obs=Observability(spec.obs))
+    sim = gpu.begin(workload.launch)
+    sim.run_until(1_000)
+    assert not sim.finished
+    ckpt_dir = tmp_path / "ckpts"
+    sim.save_checkpoint(ckpt_dir / f"{spec.content_hash()}.ckpt")
+
+    result = execute_run(spec, checkpoint_dir=ckpt_dir)
+    assert result.cycles == baseline.cycles
+    assert result.stats.summary() == baseline.stats.summary()
+    # The resume was journaled as an event and the checkpoint consumed.
+    assert result.obs["events"]["counts"].get("run_resumed") == 1
+    assert not (ckpt_dir / f"{spec.content_hash()}.ckpt").exists()
+
+
+def test_execute_run_recovers_from_a_corrupt_checkpoint(tmp_path):
+    from repro.lab.runner import execute_run
+
+    spec = _sim_spec()
+    ckpt_dir = tmp_path / "ckpts"
+    ckpt_dir.mkdir()
+    path = ckpt_dir / f"{spec.content_hash()}.ckpt"
+    path.write_bytes(b"RPCKPT01" + os.urandom(64))  # torn/garbage file
+
+    baseline = execute_run(spec)
+    result = execute_run(spec, checkpoint_dir=ckpt_dir)  # falls back fresh
+    assert result.stats.summary() == baseline.stats.summary()
+    assert result.obs["events"]["counts"].get("run_resumed") is None
+    assert not path.exists()
