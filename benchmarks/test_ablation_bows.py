@@ -15,13 +15,14 @@ from conftest import record, run_once
 
 from repro.harness.experiments import ExperimentResult
 from repro.harness.params import sync_params
-from repro.harness.runner import make_config, run_workload
+from repro.api import simulate
+from repro.harness.runner import make_config
 from repro.kernels import build
 from repro.sim.config import BOWSConfig
 
 
 def _time(kernel, params, config):
-    return run_workload(build(kernel, **params), config)
+    return simulate(build(kernel, **params), config=config)
 
 
 def _ablation() -> ExperimentResult:

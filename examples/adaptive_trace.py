@@ -16,7 +16,7 @@ tracks the sweet spot") made visible.
 Run:  python examples/adaptive_trace.py
 """
 
-from repro import build_workload, make_config, run_workload
+from repro import build_workload, make_config, simulate
 
 CASES = {
     "ht": dict(n_threads=1024, n_buckets=16, items_per_thread=2,
@@ -41,12 +41,10 @@ def sparkline(values, width=60):
 
 def main() -> None:
     for kernel, params in CASES.items():
-        baseline = run_workload(
-            build_workload(kernel, **params), make_config("gto")
-        )
-        result = run_workload(
-            build_workload(kernel, **params), make_config("gto", bows=True)
-        )
+        baseline = simulate(build_workload(kernel, **params),
+                            config=make_config("gto"))
+        result = simulate(build_workload(kernel, **params),
+                          config=make_config("gto", bows=True))
         print(f"\n== {kernel}: {baseline.cycles} -> {result.cycles} cycles "
               f"({baseline.cycles / result.cycles:.2f}x)")
         for sm in result.sms:

@@ -9,7 +9,7 @@ HQL proxy).
 Run:  python examples/contention_sweep.py
 """
 
-from repro import build_workload, make_config, run_workload
+from repro import build_workload, make_config, simulate
 from repro.harness.reporting import print_table
 
 PARAMS = dict(n_threads=512, items_per_thread=1, block_dim=256)
@@ -20,17 +20,14 @@ def main() -> None:
     rows = []
     for n_buckets in BUCKETS:
         params = dict(PARAMS, n_buckets=n_buckets)
-        base = run_workload(
-            build_workload("ht", **params), make_config("gto")
-        )
-        bows = run_workload(
-            build_workload("ht", **params), make_config("gto", bows=True)
-        )
-        ideal = run_workload(
-            build_workload("ht", **params),
-            make_config("gto", magic_locks=True),
-            validate=False,  # magic locks break mutual exclusion
-        )
+        base = simulate(build_workload("ht", **params),
+                        config=make_config("gto"))
+        bows = simulate(build_workload("ht", **params),
+                        config=make_config("gto", bows=True))
+        # magic locks break mutual exclusion, so skip validation
+        ideal = simulate(build_workload("ht", **params),
+                         config=make_config("gto", magic_locks=True),
+                         validate=False)
         base_instr = base.stats.thread_instructions
         rows.append({
             "buckets": n_buckets,

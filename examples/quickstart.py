@@ -18,7 +18,7 @@ time.  The kernel ships with its spin-loop ground truth annotated:
 Run:  python examples/quickstart.py
 """
 
-from repro import build_workload, make_config, run_workload
+from repro import build_workload, make_config, simulate
 
 
 def main() -> None:
@@ -28,12 +28,10 @@ def main() -> None:
 
     print("Simulating hashtable insertion "
           "(1024 threads x 2 keys, 16 buckets; ~15s)...")
-    baseline = run_workload(
-        build_workload("ht", **params), make_config("gto")
-    )
-    bows = run_workload(
-        build_workload("ht", **params), make_config("gto", bows=True)
-    )
+    baseline = simulate(build_workload("ht", **params),
+                        config=make_config("gto"))
+    bows = simulate(build_workload("ht", **params),
+                    config=make_config("gto", bows=True))
 
     base_stats = baseline.stats
     bows_stats = bows.stats

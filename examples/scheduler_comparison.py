@@ -9,7 +9,7 @@ shape of the paper's Figure 9a.
 Run:  python examples/scheduler_comparison.py
 """
 
-from repro import build_workload, make_config, run_workload
+from repro import build_workload, make_config, simulate
 from repro.harness.params import KERNEL_ORDER, sync_params
 from repro.harness.reporting import geomean, print_table
 
@@ -30,10 +30,8 @@ def main() -> None:
         cycles_by_scheme = {}
         for sched, bows in SCHEMES:
             label = f"{sched}+bows" if bows else sched
-            result = run_workload(
-                build_workload(kernel, **params[kernel]),
-                make_config(sched, bows=bows),
-            )
+            result = simulate(build_workload(kernel, **params[kernel]),
+                              config=make_config(sched, bows=bows))
             cycles_by_scheme[label] = result.cycles
             if lrr_cycles is None:
                 lrr_cycles = result.cycles

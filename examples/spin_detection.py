@@ -24,12 +24,12 @@ default, so ``DDOSConfig()`` with no arguments reproduces Table I:
 Run:  python examples/spin_detection.py
 """
 
-from repro import DDOSConfig, build_workload, make_config, run_workload
+from repro import DDOSConfig, build_workload, make_config, simulate
 
 
 def detect(kernel: str, ddos: DDOSConfig, **params):
     config = make_config("gto", ddos=ddos)
-    result = run_workload(build_workload(kernel, **params), config)
+    result = simulate(build_workload(kernel, **params), config=config)
     program = result.launch.program
     return {
         "true_sibs": sorted(program.true_sibs()),

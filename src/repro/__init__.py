@@ -35,7 +35,7 @@ from repro.core import hardware_cost
 from repro.core.adaptive import AdaptiveDelayController
 from repro.core.bows import BOWSUnit
 from repro.core.ddos import DDOSEngine, hash_modulo, hash_xor
-from repro.harness.runner import make_config, run_workload
+from repro.harness.runner import make_config
 from repro.isa import AssemblyError, Program, assemble
 from repro.kernels import (
     SYNC_FREE_KERNELS,
@@ -108,7 +108,6 @@ __all__ = [
     "lint_program",
     "make_config",
     "pascal_config",
-    "run_workload",
     "simulate",
     "__version__",
 ]

@@ -33,6 +33,10 @@ from repro.memory.memsys import GlobalMemory
 from repro.sim.checkpoint import SimCheckpoint
 from repro.sim.config import GPUConfig
 from repro.sim.gpu import GPU, KernelLaunch, SimResult, Simulation
+# The unified submission API lives in repro.submit; re-exported here so
+# `from repro.api import submit` is the one import every tool needs.
+from repro.submit import (RunFailedError, RunHandle, SubmitBatch, submit,
+                          submit_many)
 
 #: What :func:`simulate` accepts as its target.
 SimTarget = Union[str, Workload, KernelLaunch, Program]

@@ -42,6 +42,7 @@ from repro.lab.spec import RunSpec
 from repro.metrics.stats import SUMMARY_SCHEMA_VERSION
 from repro.sim.config import GPUConfig
 from repro.sim.sm import ENGINES
+from repro.submit import submit_many
 
 #: Version of the BENCH_hotloop.json layout.
 BENCH_SCHEMA_VERSION = 1
@@ -104,18 +105,37 @@ def run_benchmark(
     reps: int = 3,
     progress=None,
     matrix: Optional[Tuple[Tuple[str, Dict[str, int]], ...]] = None,
+    server=None,
 ) -> Dict[str, Any]:
     """Run the matrix and return the BENCH_hotloop.json payload.
 
     ``matrix`` restricts the run to a subset of (kernel, params) pairs
     (the perf smoke test measures just ``ht``); default is the full or
     quick matrix per ``quick``.
+
+    ``server`` routes the runs through a ``repro serve`` daemon instead
+    of an in-process serial runner.  Note the daemon dedupes identical
+    specs and the rep label is not part of the content hash, so the
+    reps of one entry collapse to a single execution — fine for smoke
+    (the client path is what's being exercised), not for careful wall
+    timing, which wants the default in-process path.
     """
     if reps < 1:
         raise ValueError("reps must be >= 1")
     if matrix is None:
         matrix = QUICK_MATRIX if quick else FULL_MATRIX
-    runner = Runner(workers=1, mode="serial", cache=None, retries=0)
+    # Serial + uncached on purpose: the benchmark measures wall time, so
+    # no parallel interference and no cache short-circuits.
+    runner = (None if server is not None
+              else Runner(workers=1, mode="serial", cache=None, retries=0))
+
+    def _run_reps(specs: List[RunSpec]) -> List[RunResult]:
+        if server is not None:
+            batch = submit_many(specs, backend="server", server=server,
+                                client_name="bench")
+        else:
+            batch = submit_many(specs, runner=runner)
+        return batch.results()
 
     entries: List[Dict[str, Any]] = []
     speedups: List[float] = []
@@ -133,7 +153,7 @@ def run_benchmark(
                             label=f"{kernel}/{mode}/{engine}/{rep}")
                     for rep in range(reps)
                 ]
-                per_engine[engine] = _best(runner.run_map(specs))
+                per_engine[engine] = _best(_run_reps(specs))
             fast, ref = per_engine["fast"], per_engine["reference"]
             if fast.stats.summary() != ref.stats.summary():
                 raise BenchError(

@@ -19,6 +19,10 @@ Usage::
     python -m repro cache stats
     python -m repro cache verify [--repair]       # per-entry integrity
     python -m repro cache clear [--stale-only]
+    python -m repro serve /tmp/repro.sock         # start the job daemon
+    python -m repro serve /tmp/repro.sock --status
+    python -m repro sweep --kernel ht --server /tmp/repro.sock
+    python -m repro run ht --server /tmp/repro.sock
 
 Exit codes distinguish failure classes so CI and the fuzzer can react
 without parsing output: 0 success, 1 generic failure, 2 usage error,
@@ -31,6 +35,12 @@ out over a process pool and completed simulations land in the on-disk
 result cache (``.lab_cache/`` by default), so regenerating a figure
 twice — or regenerating Figures 10-13, which share one delay sweep — is
 a cache hit instead of hours of re-simulation.
+
+``serve`` starts the resident job daemon (:mod:`repro.serve`); ``run``,
+``sweep``, ``fuzz``, and ``bench`` all take ``--server ADDRESS`` to
+submit their work to it instead of simulating in-process — one shared
+worker pool, one shared cache, concurrent duplicate submissions deduped
+to a single simulation (see docs/serve.md).
 """
 
 from __future__ import annotations
@@ -163,6 +173,8 @@ def _cmd_sweep(args) -> int:
     )
     sweep.axis("preset", [args.preset])
     sweep.axis("scale", [args.scale])
+    if args.obs:
+        sweep.axis("obs", [True])
     for item in args.param:
         if "=" not in item:
             raise SystemExit(f"--param expects name=value[,value...], "
@@ -174,7 +186,11 @@ def _cmd_sweep(args) -> int:
             raise SystemExit(f"--param {name} values must be integers, "
                              f"got {values!r}") from None
     start = time.time()
-    result = sweep.run(runner=_make_lab_runner(args), journal=args.journal)
+    if args.server:
+        result = sweep.run(journal=args.journal, server=args.server)
+    else:
+        result = sweep.run(runner=_make_lab_runner(args),
+                           journal=args.journal)
     rows = [
         {k: v for k, v in row.items() if k not in ("preset", "scale")}
         for row in result.rows()
@@ -269,6 +285,57 @@ def _add_watchdog_options(parser) -> None:
                              "invariant checks (debug)")
 
 
+def _failure_exit_code(failure) -> int:
+    """Map a lab :class:`~repro.lab.results.RunFailure` to the CLI's
+    exit-code contract (hang=3, validation=4, transient=5)."""
+    if failure.hung or failure.error_type in (
+            "SimulationLivelock", "SimulationDeadlock", "SimulationTimeout"):
+        return EXIT_HANG
+    if failure.error_type == "WorkloadError":
+        return EXIT_VALIDATION
+    if failure.transient:
+        return EXIT_TRANSIENT
+    return EXIT_FAILURE
+
+
+def _cmd_run_server(args, config, params) -> int:
+    """``repro run --server``: submit the run to a serve daemon."""
+    from repro.lab.spec import RunSpec
+    from repro.serve import ServeError
+    from repro.submit import submit
+
+    spec = RunSpec(kernel=args.kernel, config=config, params=params,
+                   engine=args.engine, label=args.kernel)
+    start = time.time()
+    try:
+        handle = submit(spec, backend="server", server=args.server,
+                        client_name="run")
+        for record in handle.stream():
+            if args.progress_stream:
+                print(f"  [{record.get('kind')}] "
+                      + " ".join(f"{k}={v}" for k, v in record.items()
+                                 if k != "kind"))
+        outcome = handle.outcome()
+    except (OSError, ServeError) as exc:
+        print(f"kernel {args.kernel}: daemon unreachable "
+              f"({type(exc).__name__}): {exc}")
+        return EXIT_TRANSIENT
+    elapsed = time.time() - start
+    if not outcome.ok:
+        print(f"kernel {args.kernel}: FAILED ({outcome.error_type})")
+        print(outcome.describe())
+        return _failure_exit_code(outcome)
+    how = "cached" if outcome.from_cache else "simulated"
+    print(f"kernel {args.kernel}: {outcome.cycles} cycles "
+          f"({how} via {args.server}, {elapsed:.1f}s wall)")
+    for key, value in outcome.stats.summary().items():
+        print(f"  {key:28s}{value}")
+    if config.ddos is not None:
+        print(f"  detected SIBs: {sorted(outcome.predicted_sibs)}")
+    print("  validation: OK")
+    return EXIT_OK
+
+
 def _cmd_run(args) -> int:
     bows: object = None
     if args.bows == "adaptive":
@@ -285,6 +352,8 @@ def _cmd_run(args) -> int:
     if overrides:
         config = config.replace(**overrides)
     params = _parse_params(args.param)
+    if args.server:
+        return _cmd_run_server(args, config, params)
     workload = build_workload(args.kernel, **params)
     start = time.time()
     try:
@@ -417,12 +486,15 @@ def _cmd_fuzz(args) -> int:
     workers = args.workers
     if workers is None or workers <= 0:
         workers = 1
-    runner = Runner(workers=workers, cache=None,
-                    progress=print if args.progress else None)
+    runner = None if args.server else Runner(
+        workers=workers, cache=None,
+        progress=print if args.progress else None,
+    )
     seeds = list(range(args.seed_base, args.seed_base + args.seeds))
     journal = args.resume or args.journal
     report = fuzzer.run(seeds, runner=runner, shrink=not args.no_shrink,
-                        journal=journal, resume=bool(args.resume))
+                        journal=journal, resume=bool(args.resume),
+                        server=args.server)
     if args.json:
         report.write(args.json)
         print(f"[fuzz report written to {args.json}]")
@@ -478,7 +550,7 @@ def _cmd_bench(args) -> int:
 
     try:
         payload = run_benchmark(quick=args.quick, reps=args.reps,
-                                progress=print)
+                                progress=print, server=args.server)
     except BenchError as exc:
         print(f"bench: EQUIVALENCE FAILURE: {exc}")
         return EXIT_VALIDATION
@@ -511,6 +583,48 @@ def _cmd_bench(args) -> int:
               f"< required {args.min_speedup:.2f}x")
         return EXIT_FAILURE
     return EXIT_OK
+
+
+def _cmd_serve(args) -> int:
+    """Start (or query / stop) the resident simulation daemon."""
+    import json as json_mod
+    import os
+
+    from repro.serve import ServeClient, ServeDaemon, ServeError
+
+    if args.status or args.stop:
+        try:
+            with ServeClient(args.address, name="cli") as client:
+                if args.status:
+                    status = client.status()
+                    status.pop("type", None)
+                    print(json_mod.dumps(status, indent=2, sort_keys=True))
+                if args.stop:
+                    client.shutdown_daemon(drain=not args.abort)
+                    print(f"[daemon at {args.address} asked to "
+                          f"{'abort' if args.abort else 'drain'}]")
+        except (OSError, ServeError) as exc:
+            print(f"serve: {exc}", file=sys.stderr)
+            return EXIT_TRANSIENT
+        return EXIT_OK
+
+    workers = args.workers
+    if workers is None or workers <= 0:
+        workers = os.cpu_count() or 1
+    daemon = ServeDaemon(
+        args.address,
+        workers=workers,
+        mode=args.mode,
+        cache=False if args.no_cache else ResultCache(args.cache_dir),
+        journal=args.journal,
+        timeout_s=args.timeout_s,
+        retries=args.retries,
+        grace_s=args.grace_s,
+        max_inflight_per_client=args.max_inflight,
+        checkpoint_dir=args.checkpoint_dir,
+        progress=None if args.quiet else print,
+    )
+    return daemon.serve_forever()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -557,6 +671,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     swp.add_argument("--resume", default=None, metavar="PATH",
                      help="complete a killed sweep from its journal "
                           "(finished specs come back as cache hits)")
+    swp.add_argument("--server", default=None, metavar="ADDRESS",
+                     help="submit the sweep to a 'repro serve' daemon at "
+                          "ADDRESS (socket path or host:port) instead of "
+                          "simulating in-process")
+    swp.add_argument("--obs", action="store_true",
+                     help="collect observability (time series + events) "
+                          "on every run; with --server the samples "
+                          "stream back live")
     _add_lab_options(swp)
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
@@ -594,6 +716,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                      default="fast",
                      help="execution engine (both are bitwise-equivalent; "
                           "'reference' is the seed implementation)")
+    run.add_argument("--server", default=None, metavar="ADDRESS",
+                     help="submit the run to a 'repro serve' daemon at "
+                          "ADDRESS instead of simulating in-process")
+    run.add_argument("--progress-stream", action="store_true",
+                     help="with --server, print streamed progress records "
+                          "(lifecycle marks, obs samples) as they arrive")
     _add_watchdog_options(run)
 
     prof = sub.add_parser(
@@ -650,6 +778,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench.add_argument("--baseline", default=None, metavar="PATH",
                        help="committed BENCH_hotloop.json to compare "
                             "against (prints per-entry deltas)")
+    bench.add_argument("--server", default=None, metavar="ADDRESS",
+                       help="route runs through a 'repro serve' daemon "
+                            "(smoke only: the daemon dedupes reps, so "
+                            "wall timings are not comparable)")
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -702,6 +834,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     fuzz.add_argument("--resume", default=None, metavar="PATH",
                       help="continue a killed campaign from its journal, "
                            "skipping seeds with a recorded outcome")
+    fuzz.add_argument("--server", default=None, metavar="ADDRESS",
+                      help="submit every seed to a 'repro serve' daemon "
+                           "at ADDRESS instead of a local worker pool")
 
     lint = sub.add_parser(
         "lint",
@@ -722,6 +857,50 @@ def main(argv: Optional[List[str]] = None) -> int:
     lint.add_argument("--out", default=None, metavar="PATH",
                       help="write the report to PATH instead of stdout")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the resident simulation daemon: shared worker pool, "
+             "cache dedup, streamed progress (see docs/serve.md)",
+    )
+    serve.add_argument("address",
+                       help="listen address: a Unix-socket path or "
+                            "host:port")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker pool size (default: CPU count)")
+    serve.add_argument("--mode", choices=("process", "thread"),
+                       default="process",
+                       help="worker pool kind (process isolates "
+                            "simulations; thread is for tests)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="skip the shared on-disk result cache")
+    serve.add_argument("--cache-dir", default=None,
+                       help="result cache directory (default: .lab_cache)")
+    serve.add_argument("--journal", default=None, metavar="PATH",
+                       help="append every submission and outcome to a "
+                            "durable JSONL journal (resumable via "
+                            "'repro sweep --resume PATH')")
+    serve.add_argument("--timeout-s", type=float, default=None,
+                       help="per-run wall-clock timeout in seconds")
+    serve.add_argument("--retries", type=int, default=1,
+                       help="retry budget for transient failures")
+    serve.add_argument("--grace-s", type=float, default=30.0,
+                       help="drain grace for in-flight runs on "
+                            "SIGTERM/SIGINT")
+    serve.add_argument("--max-inflight", type=int, default=None,
+                       metavar="N",
+                       help="fairness budget: at most N of any one "
+                            "client's jobs on workers at once")
+    serve.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="autocheckpoint running simulations to DIR")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-job progress lines")
+    serve.add_argument("--status", action="store_true",
+                       help="print a running daemon's status JSON and exit")
+    serve.add_argument("--stop", action="store_true",
+                       help="ask a running daemon to drain and stop")
+    serve.add_argument("--abort", action="store_true",
+                       help="with --stop: abort without draining")
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)
@@ -741,6 +920,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise SystemExit(2)
 
 

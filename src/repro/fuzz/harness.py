@@ -257,7 +257,8 @@ class ScheduleFuzzer:
     def run(self, seeds: Union[int, Sequence[int]],
             runner: Optional[Runner] = None,
             shrink: bool = True,
-            journal=None, resume: bool = False) -> FuzzReport:
+            journal=None, resume: bool = False,
+            server=None) -> FuzzReport:
         """Fuzz across ``seeds`` (an iterable, or N meaning 0..N-1).
 
         With ``journal`` (a path or
@@ -265,6 +266,11 @@ class ScheduleFuzzer:
         outcome is appended durably so a killed campaign can be
         completed with ``resume=True`` — paired with a result cache on
         the runner, already-finished seeds come back as cache hits.
+
+        ``server`` routes every seed through a ``repro serve`` daemon
+        (address or connected client) instead of ``runner`` — the
+        campaign then shares the daemon's cache and worker pool with
+        every other client, and a re-run campaign is pure cache hits.
         """
         import time
 
@@ -273,7 +279,7 @@ class ScheduleFuzzer:
         if isinstance(seeds, int):
             seeds = list(range(seeds))
         seeds = list(seeds)
-        if runner is None:
+        if runner is None and server is None:
             runner = Runner(workers=1)
         if resume and journal is not None:
             # Seeds with a journaled outcome were already fuzzed by the
@@ -299,8 +305,8 @@ class ScheduleFuzzer:
                     "fuzz", kernel=self.kernel, seeds=len(seeds),
                     resume=bool(resume),
                 )
-            batch = runner.run_many([self.spec_for(s) for s in seeds],
-                                    journal=journal)
+            batch = self._execute([self.spec_for(s) for s in seeds],
+                                  runner, server, journal=journal)
         finally:
             if owns_journal:
                 journal.close()
@@ -348,9 +354,19 @@ class ScheduleFuzzer:
 
         first = report.first_hang
         if shrink and first is not None:
-            report.shrink = self._shrink(first, runner)
+            report.shrink = self._shrink(first, runner, server)
         report.elapsed_s = time.perf_counter() - start
         return report
+
+    @staticmethod
+    def _execute(specs, runner, server, journal=None):
+        """One batch through the unified submission API."""
+        from repro.submit import submit_many
+
+        if server is not None:
+            return submit_many(specs, backend="server", server=server,
+                               journal=journal, client_name="fuzz").report
+        return submit_many(specs, runner=runner, journal=journal).report
 
     @staticmethod
     def _classify(failure: RunFailure) -> str:
@@ -367,7 +383,8 @@ class ScheduleFuzzer:
     # ------------------------------------------------------------------
 
     def _shrink(self, finding: FuzzFinding,
-                runner: Runner) -> Dict[str, Any]:
+                runner: Optional[Runner],
+                server=None) -> Dict[str, Any]:
         """Greedy axis shrink: disable each perturbation axis in turn,
         keeping any removal that still reproduces the hang."""
         current = self.perturb_for(finding.seed)
@@ -382,7 +399,7 @@ class ScheduleFuzzer:
                 continue
             candidate = dataclasses.replace(current, **{name: off})
             spec = self.spec_for(finding.seed, perturb=candidate)
-            outcome = runner.run_many([spec]).results[0]
+            outcome = self._execute([spec], runner, server).results[0]
             runs += 1
             if not outcome.ok and outcome.error_type in HANG_ERRORS:
                 current = candidate  # axis not needed for the hang

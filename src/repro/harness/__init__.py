@@ -1,6 +1,6 @@
 """Experiment harness: configuration shorthand, runners, and the code
 that regenerates every table and figure of the paper's evaluation."""
 
-from repro.harness.runner import make_config, run_kernel, run_workload
+from repro.harness.runner import make_config
 
-__all__ = ["make_config", "run_kernel", "run_workload"]
+__all__ = ["make_config"]

@@ -1,27 +1,20 @@
-"""Legacy configuration/execution shims over the :mod:`repro.api` facade.
+"""Configuration shorthand for the experiment harness.
 
 Historically this module owned both the configuration vocabulary
-(``make_config``) and workload execution (``run_workload``/``run_kernel``).
-Both now live elsewhere — the vocabulary in :meth:`GPUConfig.preset
-<repro.sim.config.GPUConfig.preset>`, execution in
-:func:`repro.api.simulate` — and these wrappers only delegate:
-
-* :func:`make_config` is a thin alias for ``GPUConfig.preset`` and stays
-  supported (it is pure configuration, with no wiring to drift);
-* :func:`run_workload` and :func:`run_kernel` are deprecated — they
-  predate the facade and duplicate its wiring decisions.  New code
-  should call ``simulate(workload_or_name, config=...)``.
+(``make_config``) and workload execution (``run_workload`` /
+``run_kernel``).  The execution shims predated the :func:`repro.api.simulate`
+facade and duplicated its wiring decisions; they went through a
+deprecation cycle and are now removed — call
+``simulate(workload_or_name, config=...)`` (or, for batches,
+``repro.api.submit``/``submit_many``) instead.  Only :func:`make_config`
+remains: it is pure configuration, with no wiring to drift.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Union
 
-from repro.api import simulate
-from repro.kernels.base import Workload, WorkloadReuseError  # noqa: F401
 from repro.sim.config import BOWSConfig, DDOSConfig, GPUConfig
-from repro.sim.gpu import SimResult
 
 
 def make_config(
@@ -39,36 +32,3 @@ def make_config(
     return GPUConfig.preset(
         preset, scheduler=scheduler, bows=bows, ddos=ddos, **overrides
     )
-
-
-def run_workload(workload: Workload, config: GPUConfig,
-                 validate: bool = True) -> SimResult:
-    """Deprecated: call :func:`repro.api.simulate` instead.
-
-    A workload is single-use: execution mutates its memory image, so a
-    second run would start from corrupted state.  Re-running a consumed
-    workload raises :class:`~repro.kernels.base.WorkloadReuseError`.
-    """
-    warnings.warn(
-        "repro.harness.runner.run_workload is deprecated; use "
-        "repro.api.simulate(workload, config=...) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return simulate(workload, config=config, validate=validate)
-
-
-def run_kernel(name: str, config: GPUConfig, validate: bool = True,
-               **params) -> SimResult:
-    """Deprecated: call :func:`repro.api.simulate` instead.
-
-    Builds the named workload fresh and simulates it — every run gets a
-    fresh memory image.
-    """
-    warnings.warn(
-        "repro.harness.runner.run_kernel is deprecated; use "
-        "repro.api.simulate(name, config=..., params=...) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return simulate(name, config=config, params=params, validate=validate)

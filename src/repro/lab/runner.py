@@ -110,7 +110,7 @@ def decorrelated_jitter(previous_s: float, base_s: float, cap_s: float,
 
 
 def execute_run(spec: RunSpec, checkpoint_dir=None,
-                checkpoint_every=None) -> RunResult:
+                checkpoint_every=None, obs=None) -> RunResult:
     """Build, simulate, validate, and score one spec (worker entry).
 
     With ``checkpoint_dir``, the simulation autocheckpoints its complete
@@ -120,6 +120,13 @@ def execute_run(spec: RunSpec, checkpoint_dir=None,
     attempt was killed or timed out — the run *resumes* from it instead
     of restarting, and a corrupt checkpoint falls back to a fresh run.
     The file is deleted once the run completes.
+
+    ``obs`` optionally supplies a prepared
+    :class:`~repro.obs.Observability` to use instead of the one built
+    from ``spec.obs`` — the serve daemon's streaming tap rides in this
+    way.  The instance MUST be built from ``spec.obs``'s config (and is
+    only meaningful when ``spec.obs`` is set): the spec hash covers the
+    obs *config*, so a divergent instance would poison the shared cache.
     """
     # Imported here so pool workers pay the import once and the lab core
     # stays import-cycle-free with the harness/api layers.
@@ -169,8 +176,7 @@ def execute_run(spec: RunSpec, checkpoint_dir=None,
         if spec.validate and not spec.config.magic_locks:
             workload.validate(sim.memory)
     else:
-        obs = None
-        if spec.obs is not None:
+        if obs is None and spec.obs is not None:
             from repro.obs import Observability
             obs = Observability(spec.obs)
         sanitizer = None

@@ -12,6 +12,7 @@ pairing each combo with its outcome, plus a JSON-ready manifest.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import json
 from dataclasses import dataclass
@@ -33,8 +34,11 @@ def experiment_spec(combo: Dict[str, Any]) -> RunSpec:
     """Stock factory: combo axes in the harness vocabulary.
 
     Recognized axes: ``kernel`` (required), ``scheduler``, ``bows``,
-    ``ddos``, ``preset``, ``scale``, ``seed``, ``validate``; any other
-    axis is passed through as a workload parameter override.
+    ``ddos``, ``preset``, ``scale``, ``seed``, ``validate``,
+    ``engine``, ``obs`` (``True`` for default collection or an
+    :class:`~repro.obs.ObsConfig`), ``sanitize`` (``True`` or a
+    :class:`~repro.analysis.SanitizerConfig`); any other axis is passed
+    through as a workload parameter override.
     """
     from repro.harness.params import sync_free_params, sync_params
     from repro.harness.runner import make_config
@@ -50,13 +54,23 @@ def experiment_spec(combo: Dict[str, Any]) -> RunSpec:
     )
     seed = combo.pop("seed", None)
     validate = combo.pop("validate", True)
+    engine = combo.pop("engine", "fast")
+    obs = combo.pop("obs", None)
+    if obs is True:
+        from repro.obs import ObsConfig
+        obs = ObsConfig()
+    sanitize = combo.pop("sanitize", None)
+    if sanitize is True:
+        from repro.analysis.sanitizer import SanitizerConfig
+        sanitize = SanitizerConfig()
     registry: Dict[str, dict] = {}
     registry.update(sync_free_params(scale))
     registry.update(sync_params(scale))
     params = dict(registry.get(kernel, {}))
     params.update(combo)  # leftover axes are workload parameters
     return RunSpec(kernel=kernel, config=config, params=params,
-                   seed=seed, validate=validate)
+                   seed=seed, validate=validate, engine=engine,
+                   obs=obs or None, sanitize=sanitize or None)
 
 
 class Sweep:
@@ -93,25 +107,37 @@ class Sweep:
         for combo in self.combos():
             spec = factory(combo)
             if spec.label is None:
-                spec = RunSpec(
-                    kernel=spec.kernel, config=spec.config,
-                    params=spec.params, seed=spec.seed,
-                    validate=spec.validate, label=_combo_label(combo),
-                )
+                # replace() keeps every other field (engine, obs,
+                # sanitize, ...) — the label is presentation-only.
+                spec = dataclasses.replace(spec, label=_combo_label(combo))
             specs.append(spec)
         return specs
 
     def run(self, runner: Optional[Runner] = None,
             factory: SpecFactory = experiment_spec,
-            journal=None) -> "SweepResult":
+            journal=None, server=None) -> "SweepResult":
         """Execute the sweep; ``journal`` (a path or
         :class:`~repro.lab.journal.SweepJournal`) makes it resumable via
-        :func:`resume_sweep` after a crash."""
+        :func:`resume_sweep` after a crash.
+
+        ``server`` routes the whole sweep through a ``repro serve``
+        daemon (address or connected client) instead of an in-process
+        runner — the daemon's shared cache and in-flight dedup then
+        apply across every client on the machine.
+        """
         from repro.lab import current_runner
         from repro.lab.journal import SweepJournal
 
-        runner = runner or current_runner()
         combos = self.combos()
+        if server is not None:
+            from repro.submit import submit_many
+
+            batch = submit_many(self.specs(factory), backend="server",
+                                server=server, journal=journal,
+                                client_name=f"sweep:{self.name}")
+            return SweepResult(sweep=self, combos=combos,
+                               report=batch.report)
+        runner = runner or current_runner()
         if journal is None:
             report = runner.run_many(self.specs(factory))
         else:

@@ -1,0 +1,707 @@
+"""``repro serve`` — the long-running simulation daemon.
+
+The daemon inverts the lab architecture: instead of every tool owning a
+:class:`~repro.lab.runner.Runner`, one resident process owns the worker
+pool, the content-addressed result cache, and the durable journal, and
+every downstream tool (CLI, benchmarks, fuzzer, tests) becomes a thin
+protocol client.  One submission API, shared dedup, shared cache.
+
+Lifecycle of a submission (see ``docs/serve.md``):
+
+1. A client connects (:mod:`repro.serve.protocol` handshake) and sends
+   ``submit`` messages carrying serialized RunSpecs.
+2. The :class:`~repro.serve.jobstore.JobStore` dedupes: an identical
+   spec already in flight gains a subscriber instead of a second
+   simulation; a spec in the cache returns instantly with no dispatch.
+3. Fresh work enters the :class:`~repro.serve.scheduler.FairScheduler`
+   (per-client priority queues, round-robin, inflight budgets) and is
+   dispatched to the worker pool running
+   :func:`~repro.serve.worker.serve_entry`.
+4. While a run is in flight, the daemon tails its progress spool and
+   streams lifecycle marks, obs time-series samples, and obs events to
+   every subscribed client.
+5. The result lands in the cache and journal, then fans out to all
+   subscribers as a versioned wire message.
+
+Crash safety mirrors the lab runner's: transient failures retry with
+the same classification, a died pool worker gets its in-flight jobs
+re-queued once for free, and the first SIGTERM/SIGINT *drains* — new
+submissions are refused, in-flight runs get ``grace_s`` to finish (and
+their results still reach cache, journal, and clients), queued jobs are
+journaled as interrupted-transient so a resubmitted sweep completes
+from cache hits.  A second signal aborts immediately.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import signal
+import tempfile
+import threading
+import time
+from concurrent.futures import (CancelledError, Executor,
+                                ProcessPoolExecutor, ThreadPoolExecutor)
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.lab.cache import ResultCache
+from repro.lab.journal import SweepJournal
+from repro.lab.results import RunFailure, RunResult
+from repro.lab.runner import _is_transient
+from repro.lab.spec import RunSpec
+from repro.serve import protocol, wire
+from repro.serve.jobstore import QUEUED, Job, JobStore
+from repro.serve.scheduler import FairScheduler
+from repro.serve.worker import serve_entry
+
+#: Counter names exposed by ``status`` (all start at zero).
+COUNTER_NAMES = (
+    "submitted",      # submit messages accepted
+    "attached",       # submissions deduped onto an in-flight job
+    "cache_hits",     # submissions served from the cache, no dispatch
+    "dispatched",     # jobs actually handed to the worker pool
+    "completed",      # jobs that produced a RunResult
+    "failed",         # jobs that exhausted attempts
+    "retried",        # transient failures re-queued
+    "worker_losses",  # in-flight jobs re-queued after a pool death
+    "clients",        # connections that completed the handshake
+)
+
+
+class _Subscription:
+    """One client's interest in one job (transport adapter)."""
+
+    __slots__ = ("conn", "wants_stream")
+
+    def __init__(self, conn: "_ClientConn", wants_stream: bool) -> None:
+        self.conn = conn
+        self.wants_stream = wants_stream
+
+    def send(self, message: Dict[str, Any]) -> bool:
+        return self.conn.send(message)
+
+
+class _ClientConn:
+    """One accepted connection: framing, identity, liveness."""
+
+    def __init__(self, stream: protocol.MessageStream, peer: str) -> None:
+        self.stream = stream
+        self.peer = peer
+        self.name = peer
+        self.alive = True
+
+    def send(self, message: Dict[str, Any]) -> bool:
+        if not self.alive:
+            return False
+        try:
+            self.stream.send(message)
+            return True
+        except OSError:
+            self.alive = False
+            return False
+
+    def close(self) -> None:
+        self.alive = False
+        self.stream.close()
+
+
+class ServeDaemon:
+    """The simulation-as-a-service job server (``repro serve``)."""
+
+    def __init__(
+        self,
+        address: str,
+        *,
+        workers: Optional[int] = None,
+        mode: str = "process",
+        cache=None,
+        journal=None,
+        timeout_s: Optional[float] = None,
+        retries: int = 1,
+        max_inflight_per_client: Optional[int] = None,
+        grace_s: float = 30.0,
+        checkpoint_dir=None,
+        spool_dir=None,
+        poll_interval_s: float = 0.05,
+        progress=None,
+    ) -> None:
+        if mode not in ("process", "thread"):
+            raise ValueError(f"unknown worker mode {mode!r}")
+        self.address = address
+        self.workers = workers if workers and workers > 0 else (
+            os.cpu_count() or 1
+        )
+        self.mode = mode
+        if cache is False:
+            self.cache: Optional[ResultCache] = None
+        elif cache is None:
+            self.cache = ResultCache()
+        elif isinstance(cache, ResultCache):
+            self.cache = cache
+        else:
+            self.cache = ResultCache(cache)
+        self._journal_path = journal
+        self._journal: Optional[SweepJournal] = None
+        self._journal_lock = threading.Lock()
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.grace_s = grace_s
+        self.checkpoint_dir = checkpoint_dir
+        self._owns_spool = spool_dir is None
+        self.spool_dir = Path(spool_dir) if spool_dir else None
+        self.poll_interval_s = poll_interval_s
+        self.progress = progress
+
+        self.store = JobStore(cache=self.cache)
+        self.scheduler = FairScheduler(max_inflight_per_client)
+        self.counters: Dict[str, int] = {n: 0 for n in COUNTER_NAMES}
+        self._counters_lock = threading.Lock()
+
+        self._cond = threading.Condition()
+        self._draining = False
+        self._abort = False
+        self._stopping = False
+        self._started = False
+        self._stopped = threading.Event()
+        self._listener = None
+        self._threads = []
+        self._conns = set()
+        self._conns_lock = threading.Lock()
+        self._executor: Optional[Executor] = None
+        self._executor_broken = False
+        self._executor_lock = threading.Lock()
+        self._running: Dict[Job, Any] = {}
+        self._running_lock = threading.Lock()
+        self._free_requeued = set()
+        self._spool_lock = threading.Lock()
+        self._started_at = time.monotonic()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "ServeDaemon":
+        """Bind the listener and start the service threads."""
+        if self._started:
+            return self
+        self._started = True
+        if self.spool_dir is None:
+            self.spool_dir = Path(
+                tempfile.mkdtemp(prefix="repro-serve-spool-")
+            )
+        else:
+            self.spool_dir.mkdir(parents=True, exist_ok=True)
+        if self._journal_path is not None:
+            self._journal = SweepJournal(self._journal_path, resume=True)
+            self._journal_note("serve_start", address=self.address,
+                              workers=self.workers, mode=self.mode)
+        self._listener = protocol.create_listener(self.address)
+        for name, target in (
+            ("serve-accept", self._accept_loop),
+            ("serve-dispatch", self._dispatch_loop),
+            ("serve-tail", self._tail_loop),
+        ):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        self._note(f"serving on {self.address} "
+                   f"({self.workers} {self.mode} workers)")
+        return self
+
+    def serve_forever(self) -> int:
+        """Blocking entry point: install signal draining and serve.
+
+        Returns 0 after a clean drain, 130 after a two-signal abort.
+        """
+        self.start()
+        on_main = threading.current_thread() is threading.main_thread()
+        previous: Dict[int, Any] = {}
+
+        def _on_signal(_signum, _frame):
+            if self._draining:
+                self.request_shutdown(drain=False)
+            else:
+                self._note("signal received: draining "
+                           "(repeat to abort immediately)")
+                self.request_shutdown(drain=True)
+
+        if on_main:
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    previous[sig] = signal.signal(sig, _on_signal)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
+        try:
+            self._stopped.wait()
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+        return 130 if self._abort else 0
+
+    def request_shutdown(self, drain: bool = True) -> None:
+        """Ask the daemon to stop (thread- and signal-safe)."""
+        with self._cond:
+            if not drain:
+                self._abort = True
+            self._draining = True
+            self._cond.notify_all()
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        return self._stopped.wait(timeout)
+
+    def close(self) -> None:
+        """Immediate teardown (tests); prefer :meth:`request_shutdown`."""
+        self.request_shutdown(drain=False)
+        self._stopped.wait(10.0)
+
+    # -- status --------------------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        with self._counters_lock:
+            counters = dict(self.counters)
+        return {
+            "address": self.address,
+            "protocol": protocol.PROTOCOL_VERSION,
+            "wire_schema": wire.WIRE_SCHEMA_VERSION,
+            "workers": self.workers,
+            "mode": self.mode,
+            "cache_dir": str(self.cache.directory) if self.cache else None,
+            "uptime_s": round(time.monotonic() - self._started_at, 1),
+            "draining": self._draining,
+            "counters": counters,
+            "jobs": self.store.counts(),
+            "pending_by_client": self.scheduler.pending_by_client(),
+        }
+
+    # -- internals -----------------------------------------------------
+
+    def _note(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(f"[serve] {message}")
+
+    def _count(self, name: str, delta: int = 1) -> None:
+        with self._counters_lock:
+            self.counters[name] += delta
+
+    def _journal_note(self, note: str, **detail: Any) -> None:
+        if self._journal is None:
+            return
+        with self._journal_lock:
+            self._journal.record_note(note, **detail)
+
+    def _journal_spec(self, spec: RunSpec) -> None:
+        if self._journal is None:
+            return
+        with self._journal_lock:
+            self._journal.record_spec(spec)
+
+    def _journal_done(self, spec_hash: str, from_cache: bool,
+                      cycles: int) -> None:
+        if self._journal is None:
+            return
+        with self._journal_lock:
+            self._journal.record_done(spec_hash, from_cache=from_cache,
+                                      cycles=cycles)
+
+    def _journal_failed(self, spec_hash: str, error_type: str,
+                        transient: bool) -> None:
+        if self._journal is None:
+            return
+        with self._journal_lock:
+            self._journal.record_failed(spec_hash, error_type=error_type,
+                                        transient=transient)
+
+    # -- accept / client loops ----------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping:
+            try:
+                sock, addr = self._listener.accept()
+            except OSError:
+                return  # listener closed during shutdown
+            peer = addr if isinstance(addr, str) and addr else (
+                f"{addr[0]}:{addr[1]}" if isinstance(addr, tuple)
+                else f"conn-{id(sock) & 0xffff:04x}"
+            )
+            conn = _ClientConn(protocol.MessageStream(sock), peer)
+            thread = threading.Thread(
+                target=self._client_loop, args=(conn,),
+                name=f"serve-client-{peer}", daemon=True,
+            )
+            thread.start()
+
+    def _client_loop(self, conn: _ClientConn) -> None:
+        stream = conn.stream
+        try:
+            hello = protocol.check_hello(stream.recv())
+        except protocol.ProtocolError as exc:
+            conn.send({"type": "error", "message": str(exc)})
+            conn.close()
+            return
+        if hello.get("client"):
+            conn.name = str(hello["client"])
+        conn.send({"type": "hello_ack",
+                   "protocol": protocol.PROTOCOL_VERSION,
+                   "wire_schema": wire.WIRE_SCHEMA_VERSION,
+                   "server": "repro-serve"})
+        self._count("clients")
+        with self._conns_lock:
+            self._conns.add(conn)
+        try:
+            while conn.alive:
+                try:
+                    message = stream.recv()
+                except (protocol.ProtocolError, OSError) as exc:
+                    conn.send({"type": "error", "message": str(exc)})
+                    break
+                if message is None:
+                    break
+                self._handle_message(conn, message)
+        finally:
+            conn.close()
+            with self._conns_lock:
+                self._conns.discard(conn)
+
+    def _handle_message(self, conn: _ClientConn,
+                        message: Dict[str, Any]) -> None:
+        kind = message.get("type")
+        if kind == "submit":
+            self._handle_submit(conn, message)
+        elif kind == "status":
+            conn.send({"type": "status", **self.status()})
+        elif kind == "ping":
+            conn.send({"type": "pong"})
+        elif kind == "cancel":
+            job = self.store.cancel(str(message.get("job_id")))
+            conn.send({"type": "cancelled",
+                       "job_id": message.get("job_id"),
+                       "ok": job is not None})
+        elif kind == "shutdown":
+            conn.send({"type": "shutting_down",
+                       "drain": bool(message.get("drain", True))})
+            self.request_shutdown(drain=bool(message.get("drain", True)))
+        else:
+            conn.send({"type": "error",
+                       "message": f"unknown message type {kind!r}"})
+
+    def _handle_submit(self, conn: _ClientConn,
+                       message: Dict[str, Any]) -> None:
+        if self._draining:
+            conn.send({"type": "error",
+                       "message": "daemon is draining; "
+                                  "resubmit to a fresh daemon"})
+            return
+        try:
+            spec = RunSpec.from_dict(message["spec"],
+                                     label=message.get("label"))
+        except (KeyError, TypeError, ValueError) as exc:
+            conn.send({"type": "error",
+                       "message": f"bad spec: {type(exc).__name__}: {exc}"})
+            return
+        subscription = _Subscription(
+            conn, wants_stream=bool(message.get("stream", True))
+        )
+        job, status = self.store.submit(
+            spec, client=conn.name, subscriber=subscription,
+            priority=int(message.get("priority", 0)),
+        )
+        self._count("submitted")
+        self._journal_spec(spec)
+        conn.send({"type": "accepted", "job_id": job.id,
+                   "spec_hash": job.spec_hash, "status": status})
+        if status == "cached":
+            self._count("cache_hits")
+            self._journal_done(job.spec_hash, from_cache=True,
+                              cycles=job.result.cycles)
+            conn.send({"type": "result", "job_id": job.id,
+                       "result": wire.result_to_wire(job.result)})
+        elif status == "attached":
+            self._count("attached")
+        else:
+            self.scheduler.push(job)
+            with self._cond:
+                self._cond.notify_all()
+        self._note(f"{spec.display}: {status} as {job.id} "
+                   f"(client {conn.name})")
+
+    # -- dispatch ------------------------------------------------------
+
+    def _ensure_executor(self) -> Executor:
+        with self._executor_lock:
+            if self._executor is not None and self._executor_broken:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+                self._executor = None
+                self._executor_broken = False
+            if self._executor is None:
+                if self.mode == "thread":
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=self.workers,
+                        thread_name_prefix="serve-worker",
+                    )
+                else:
+                    self._executor = ProcessPoolExecutor(
+                        max_workers=self.workers
+                    )
+            return self._executor
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                if self._draining:
+                    break
+                job = self.scheduler.pop()
+                if job is None:
+                    self._cond.wait(0.5)
+                    continue
+            self._dispatch(job)
+        self._drain_and_stop()
+
+    def _dispatch(self, job: Job) -> None:
+        # The cache may have gained this entry since submission (another
+        # daemon or a direct Runner sharing the directory): late dedup
+        # still skips the worker.
+        cached = (self.cache.get(job.spec)
+                  if self.cache is not None else None)
+        if cached is not None:
+            self.scheduler.job_finished(job.client)
+            self._count("cache_hits")
+            self._complete(job, cached, from_cache=True)
+            return
+        self.store.mark_running(job)
+        job.progress_path = str(self.spool_dir / f"{job.id}.progress.jsonl")
+        self._count("dispatched")
+        job.broadcast({"type": "progress", "job_id": job.id,
+                       "spec_hash": job.spec_hash, "kind": "lifecycle",
+                       "data": {"kind": "lifecycle", "phase": "dispatched",
+                                "attempt": job.attempts}},
+                      stream_only=True)
+        try:
+            executor = self._ensure_executor()
+            future = executor.submit(
+                serve_entry, job.spec, job.progress_path, self.timeout_s,
+                self.checkpoint_dir, None,
+            )
+        except (RuntimeError, BrokenProcessPool) as exc:
+            self.scheduler.job_finished(job.client)
+            self._job_outcome(job, exc)
+            return
+        with self._running_lock:
+            self._running[job] = future
+        future.add_done_callback(
+            lambda f, j=job: self._on_future_done(j, f)
+        )
+
+    def _on_future_done(self, job: Job, future) -> None:
+        try:
+            outcome: Any = future.result()
+        except CancelledError:
+            outcome = RunFailure(
+                spec=job.spec, spec_hash=job.spec_hash,
+                error_type="RunInterrupted",
+                message="daemon drained before this job completed",
+                attempts=job.attempts, transient=True,
+            )
+        except BaseException as exc:  # noqa: BLE001 - classified below
+            outcome = exc
+        with self._running_lock:
+            self._running.pop(job, None)
+        self.scheduler.job_finished(job.client)
+        self._job_outcome(job, outcome)
+        with self._cond:
+            self._cond.notify_all()
+
+    def _job_outcome(self, job: Job, outcome: Any) -> None:
+        if isinstance(outcome, RunResult):
+            self._complete(job, outcome, from_cache=False)
+            return
+        if isinstance(outcome, RunFailure):
+            self._fail(job, outcome)
+            return
+        exc = outcome
+        if isinstance(exc, BrokenProcessPool):
+            with self._executor_lock:
+                self._executor_broken = True
+            if job.id not in self._free_requeued and not self._draining:
+                # The worker died under this job; that says nothing
+                # about the job.  One free re-queue, like the Runner.
+                self._free_requeued.add(job.id)
+                self._count("worker_losses")
+                self._note(f"{job.spec.display}: worker died, re-queued")
+                self.store.mark_requeued(job)
+                self.scheduler.push(job)
+                with self._cond:
+                    self._cond.notify_all()
+                return
+        transient = _is_transient(exc)
+        if (transient and job.attempts < self.retries + 1
+                and not self._draining):
+            self._count("retried")
+            self._note(f"{job.spec.display}: transient "
+                       f"{type(exc).__name__}, retrying")
+            self.store.mark_requeued(job)
+            self.scheduler.push(job)
+            with self._cond:
+                self._cond.notify_all()
+            return
+        hang_report = getattr(exc, "report", None)
+        self._fail(job, RunFailure(
+            spec=job.spec, spec_hash=job.spec_hash,
+            error_type=type(exc).__name__, message=str(exc),
+            attempts=max(job.attempts, 1), transient=transient,
+            hang=hang_report.to_dict() if hang_report is not None else None,
+        ))
+
+    def _complete(self, job: Job, result: RunResult,
+                  from_cache: bool) -> None:
+        result.label = job.spec.label
+        if not from_cache:
+            result.attempts = max(job.attempts, 1)
+            if self.cache is not None:
+                self.cache.put(job.spec, result)
+        self._drain_spool(job, final=True)
+        self._journal_done(job.spec_hash, from_cache=from_cache,
+                           cycles=result.cycles)
+        self.store.finish(job, result)
+        # Count before broadcasting: a client that queries status right
+        # after receiving its result must see this completion.
+        self._count("completed")
+        job.broadcast({"type": "result", "job_id": job.id,
+                       "result": wire.result_to_wire(result)})
+        self._note(f"{job.spec.display}: "
+                   f"{'cached' if from_cache else 'done'} "
+                   f"({result.cycles} cycles)")
+
+    def _fail(self, job: Job, failure: RunFailure) -> None:
+        self._drain_spool(job, final=True)
+        self._journal_failed(job.spec_hash, failure.error_type,
+                             failure.transient)
+        self.store.finish(job, failure)
+        self._count("failed")
+        job.broadcast({"type": "failure", "job_id": job.id,
+                       "failure": wire.failure_to_wire(failure)})
+        self._note(f"{job.spec.display}: FAILED ({failure.error_type})")
+
+    # -- progress streaming -------------------------------------------
+
+    def _tail_loop(self) -> None:
+        while not self._stopped.is_set():
+            time.sleep(self.poll_interval_s)
+            with self._running_lock:
+                running = list(self._running)
+            for job in running:
+                self._drain_spool(job)
+
+    def _drain_spool(self, job: Job, final: bool = False) -> None:
+        """Forward new spool lines to subscribers (ordered vs result:
+        the final drain runs before the result broadcast)."""
+        path = job.progress_path
+        if path is None:
+            return
+        with self._spool_lock:
+            try:
+                with open(path, "rb") as handle:
+                    handle.seek(job.progress_offset)
+                    chunk = handle.read()
+            except OSError:
+                return
+            if chunk:
+                lines = chunk.split(b"\n")
+                # A torn final line stays buffered for the next poll.
+                remainder = lines.pop()
+                job.progress_offset += len(chunk) - len(remainder)
+                records = []
+                for line in lines:
+                    if not line.strip():
+                        continue
+                    try:
+                        import json
+                        records.append(json.loads(line))
+                    except ValueError:
+                        continue
+            else:
+                records = []
+        for record in records:
+            job.broadcast({"type": "progress", "job_id": job.id,
+                           "spec_hash": job.spec_hash,
+                           "kind": record.get("kind", "unknown"),
+                           "data": record},
+                          stream_only=True)
+        if final:
+            job.progress_path = None
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    # -- shutdown ------------------------------------------------------
+
+    def _drain_and_stop(self) -> None:
+        """Runs on the dispatcher thread once draining is requested."""
+        self._journal_note("drain",
+                           running=len(self._running),
+                           queued=len(self.scheduler))
+        deadline = time.monotonic() + (0.0 if self._abort else self.grace_s)
+        while time.monotonic() < deadline and not self._abort:
+            with self._running_lock:
+                if not self._running:
+                    break
+            time.sleep(0.05)
+        # Queued jobs never ran: journal them interrupted-transient so a
+        # resubmitted sweep (or `repro sweep --resume` on this journal)
+        # completes them, and tell their subscribers.
+        interrupted = 0
+        while True:
+            job = self.scheduler.pop()
+            if job is None:
+                break
+            self.scheduler.job_finished(job.client)
+            self._fail(job, RunFailure(
+                spec=job.spec, spec_hash=job.spec_hash,
+                error_type="RunInterrupted",
+                message="daemon drained before this job started",
+                attempts=0, transient=True,
+            ))
+            interrupted += 1
+        with self._running_lock:
+            still_running = list(self._running)
+        for job in still_running:
+            # Grace expired (or abort): journal as interrupted; the
+            # worker may still finish, but we no longer wait for it.
+            self._fail(job, RunFailure(
+                spec=job.spec, spec_hash=job.spec_hash,
+                error_type="RunInterrupted",
+                message="daemon stopped before this job completed",
+                attempts=job.attempts, transient=True,
+            ))
+            interrupted += 1
+        self._stopping = True
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            family, target = protocol.parse_address(self.address)
+            if family == "unix":
+                try:
+                    os.unlink(target)
+                except OSError:
+                    pass
+        with self._executor_lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+        with self._conns_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            conn.close()
+        self._journal_note("serve_exit", interrupted=interrupted,
+                           abort=self._abort)
+        if self._journal is not None:
+            with self._journal_lock:
+                self._journal.close()
+        if self._owns_spool and self.spool_dir is not None:
+            shutil.rmtree(self.spool_dir, ignore_errors=True)
+        self._note("stopped" + (" (abort)" if self._abort else ""))
+        self._stopped.set()
+
+
+__all__ = ["COUNTER_NAMES", "ServeDaemon"]

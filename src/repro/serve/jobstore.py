@@ -1,0 +1,211 @@
+"""Job records and the dedup/subscription store of the serve daemon.
+
+The store is the daemon's single source of truth about work: every
+submission funnels through :meth:`JobStore.submit` under one lock, which
+is what makes the dedup guarantees airtight:
+
+* a spec whose hash is already **active** (queued or running) attaches
+  the new subscriber to the existing job — concurrent duplicate
+  submissions trigger exactly one simulation and every subscriber gets
+  the one result;
+* a spec already in the shared content-addressed **cache** (simulated by
+  *any* past client — this daemon, a direct ``lab.Runner``, another
+  machine sharing the directory) returns the result immediately with no
+  worker dispatch;
+* everything else becomes a fresh queued :class:`Job`.
+
+Subscribers are transport-agnostic: anything with a ``send(message) ->
+bool`` method (False = peer is gone) and a ``wants_stream`` attribute.
+A dead subscriber is dropped from the job; the job itself always runs
+to completion — its result still lands in the cache and journal for
+the next asker (client disconnect never cancels shared work).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.lab.results import RunFailure, RunResult
+from repro.lab.spec import RunSpec
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States in which a job still owns its spec hash for dedup purposes.
+ACTIVE_STATES = (QUEUED, RUNNING)
+
+
+@dataclass(eq=False)  # identity semantics: jobs are mutable registry rows
+class Job:
+    """One unit of daemon work: a spec plus everyone waiting on it."""
+
+    id: str
+    spec: RunSpec
+    spec_hash: str
+    client: str
+    priority: int = 0
+    state: str = QUEUED
+    subscribers: List[Any] = field(default_factory=list)
+    result: Optional[RunResult] = None
+    failure: Optional[RunFailure] = None
+    attempts: int = 0
+    submitted_at: float = field(default_factory=time.monotonic)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Progress spool the worker writes and the tailer reads.
+    progress_path: Optional[str] = None
+    #: Bytes of the spool already forwarded to subscribers.
+    progress_offset: int = 0
+
+    @property
+    def active(self) -> bool:
+        return self.state in ACTIVE_STATES
+
+    def broadcast(self, message: Dict[str, Any],
+                  stream_only: bool = False) -> int:
+        """Send ``message`` to live subscribers; returns deliveries.
+
+        A subscriber whose ``send`` returns False (dead socket) is
+        dropped — a client disconnecting mid-stream never disturbs the
+        job or its other subscribers.
+        """
+        delivered = 0
+        survivors = []
+        for sub in self.subscribers:
+            if stream_only and not getattr(sub, "wants_stream", True):
+                survivors.append(sub)
+                continue
+            if sub.send(message):
+                survivors.append(sub)
+                delivered += 1
+        self.subscribers[:] = survivors
+        return delivered
+
+
+class JobStore:
+    """Thread-safe job registry with cache- and in-flight-dedup."""
+
+    def __init__(self, cache=None) -> None:
+        #: Optional :class:`~repro.lab.cache.ResultCache` consulted at
+        #: submission (and re-checked at dispatch by the daemon).
+        self.cache = cache
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._active_by_hash: Dict[str, Job] = {}
+        self._ids = itertools.count(1)
+
+    def submit(self, spec: RunSpec, client: str, subscriber: Any = None,
+               priority: int = 0) -> Tuple[Job, str]:
+        """Register one submission; returns ``(job, status)``.
+
+        ``status`` is ``"attached"`` (joined an active job),
+        ``"cached"`` (``job.result`` is already populated from the
+        cache; terminal), or ``"queued"`` (fresh work for the
+        scheduler).  Atomic under the store lock: two concurrent
+        submissions of one spec can never both come back ``"queued"``.
+        """
+        spec_hash = spec.content_hash()
+        with self._lock:
+            active = self._active_by_hash.get(spec_hash)
+            if active is not None:
+                if subscriber is not None:
+                    active.subscribers.append(subscriber)
+                return active, "attached"
+            cached = self.cache.get(spec) if self.cache is not None else None
+            job = Job(
+                id=f"j{next(self._ids)}-{spec_hash[:8]}",
+                spec=spec, spec_hash=spec_hash, client=client,
+                priority=priority,
+            )
+            if subscriber is not None:
+                job.subscribers.append(subscriber)
+            self._jobs[job.id] = job
+            if cached is not None:
+                job.state = DONE
+                job.result = cached
+                job.finished_at = time.monotonic()
+                return job, "cached"
+            self._active_by_hash[spec_hash] = job
+            return job, "queued"
+
+    def mark_running(self, job: Job) -> None:
+        with self._lock:
+            job.state = RUNNING
+            job.attempts += 1
+            if job.started_at is None:
+                job.started_at = time.monotonic()
+
+    def mark_requeued(self, job: Job) -> None:
+        with self._lock:
+            job.state = QUEUED
+
+    def finish(self, job: Job,
+               outcome: "RunResult | RunFailure") -> None:
+        """Record the terminal outcome and release the spec hash."""
+        with self._lock:
+            if isinstance(outcome, RunResult):
+                job.state = DONE
+                job.result = outcome
+            else:
+                job.state = FAILED
+                job.failure = outcome
+            job.finished_at = time.monotonic()
+            if self._active_by_hash.get(job.spec_hash) is job:
+                del self._active_by_hash[job.spec_hash]
+
+    def cancel(self, job_id: str) -> Optional[Job]:
+        """Cancel a *queued* job (running jobs finish for the cache)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.state != QUEUED:
+                return None
+            job.state = CANCELLED
+            job.finished_at = time.monotonic()
+            if self._active_by_hash.get(job.spec_hash) is job:
+                del self._active_by_hash[job.spec_hash]
+            return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self, state: Optional[str] = None) -> List[Job]:
+        with self._lock:
+            jobs = list(self._jobs.values())
+        if state is not None:
+            jobs = [j for j in jobs if j.state == state]
+        return jobs
+
+    def drop_subscriber(self, subscriber: Any) -> None:
+        """Remove a disconnected client from every job it watched."""
+        with self._lock:
+            for job in self._jobs.values():
+                if subscriber in job.subscribers:
+                    job.subscribers.remove(subscriber)
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            counts: Dict[str, int] = {}
+            for job in self._jobs.values():
+                counts[job.state] = counts.get(job.state, 0) + 1
+            return counts
+
+
+__all__ = [
+    "ACTIVE_STATES",
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "Job",
+    "JobStore",
+    "QUEUED",
+    "RUNNING",
+]

@@ -1,0 +1,210 @@
+"""JSON-lines protocol plumbing shared by the daemon and its clients.
+
+One message per line, UTF-8 JSON objects, over either a Unix-domain
+socket (an address containing a path separator, or any address that is
+not ``host:port``) or localhost TCP (``host:port``).  The first message
+on a connection must be a ``hello`` carrying :data:`PROTOCOL_VERSION`;
+either side closes with an ``error`` on a mismatch, so incompatible
+peers fail in one round trip instead of mid-stream.
+
+Message vocabulary (``type`` field):
+
+================  =====================================================
+client → daemon
+================  =====================================================
+``hello``         ``{protocol, client}`` — handshake, must come first.
+``submit``        ``{spec, label, stream, priority}`` — one RunSpec.
+``status``        daemon counters + job states.
+``ping``          liveness probe.
+``cancel``        ``{job_id}`` — drop a queued job.
+``shutdown``      drain and stop the daemon (trusted local clients).
+================  =====================================================
+
+================  =====================================================
+daemon → client
+================  =====================================================
+``hello_ack``     ``{protocol, server}`` — handshake accepted.
+``accepted``      ``{job_id, spec_hash, status}`` with status one of
+                  ``queued`` (will simulate), ``attached`` (same spec
+                  already in flight; this client subscribes to it), or
+                  ``cached`` (result follows immediately, no dispatch).
+``progress``      ``{job_id, spec_hash, kind, data}`` — streamed while
+                  the run is in flight: ``lifecycle`` marks, obs
+                  ``sample`` rows, obs ``event`` records, daemon
+                  ``journal`` notes.
+``result``        ``{job_id, result}`` — versioned wire RunResult.
+``failure``       ``{job_id, failure}`` — versioned wire RunFailure.
+``status``        counters snapshot.
+``pong``          liveness reply.
+``error``         ``{message}`` — protocol or submission error.
+================  =====================================================
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.lab.spec import _json_default
+
+#: Handshake protocol version; bumped on any incompatible change to the
+#: message vocabulary (payload schemas are versioned separately by
+#: :mod:`repro.serve.wire`).
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one message line; a peer exceeding it is broken (or
+#: hostile) and the connection is dropped rather than buffering forever.
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """The peer violated the JSON-lines protocol."""
+
+
+def parse_address(address: str) -> Tuple[str, Any]:
+    """Classify ``address`` as ``("unix", path)`` or ``("tcp", (h, p))``.
+
+    ``host:port`` (with an integer port and no path separator) means
+    TCP; everything else is a Unix-socket path.
+    """
+    if not address:
+        raise ValueError("empty serve address")
+    if os.sep not in address and address.count(":") == 1:
+        host, _, port = address.rpartition(":")
+        if host and port.isdigit():
+            return "tcp", (host, int(port))
+    return "unix", address
+
+
+def create_listener(address: str, backlog: int = 64) -> socket.socket:
+    """Bind + listen on ``address`` (stale Unix socket files replaced)."""
+    family, target = parse_address(address)
+    if family == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            os.unlink(target)
+        except OSError:
+            pass
+        sock.bind(target)
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(target)
+    sock.listen(backlog)
+    return sock
+
+
+def connect(address: str, timeout_s: Optional[float] = None) -> socket.socket:
+    """Connect to a daemon at ``address``."""
+    family, target = parse_address(address)
+    if family == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.settimeout(timeout_s)
+    sock.connect(target)
+    sock.settimeout(None)
+    return sock
+
+
+class MessageStream:
+    """Thread-safe JSON-lines framing over one connected socket.
+
+    Reads happen from a single thread (the owner's reader loop); writes
+    may come from any thread and are serialized by a lock — a streamed
+    sample and a result broadcast never interleave mid-line.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+        self._write_lock = threading.Lock()
+        self._closed = False
+
+    def send(self, message: Dict[str, Any]) -> None:
+        """Write one message; raises ``OSError`` on a dead peer."""
+        line = json.dumps(message, separators=(",", ":"),
+                          default=_json_default).encode("utf-8") + b"\n"
+        with self._write_lock:
+            self._sock.sendall(line)
+
+    def recv(self) -> Optional[Dict[str, Any]]:
+        """Read one message; ``None`` on EOF (peer closed cleanly)."""
+        line = self._reader.readline(MAX_LINE_BYTES + 1)
+        if not line:
+            return None
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError(
+                f"message exceeds {MAX_LINE_BYTES} bytes; dropping peer"
+            )
+        try:
+            message = json.loads(line)
+        except ValueError as exc:
+            raise ProtocolError(f"message is not valid JSON: {exc}") from exc
+        if not isinstance(message, dict) or "type" not in message:
+            raise ProtocolError("message must be an object with a 'type'")
+        return message
+
+    def close(self) -> None:
+        """Tear down the connection (safe from any thread).
+
+        ``shutdown`` first: it unblocks a thread parked in ``recv``
+        (readline returns EOF) without touching the buffered reader's
+        internal lock — closing the file object from a foreign thread
+        while a read is in flight deadlocks in CPython.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+def hello_message(client: Optional[str] = None) -> Dict[str, Any]:
+    return {"type": "hello", "protocol": PROTOCOL_VERSION,
+            "client": client}
+
+
+def check_hello(message: Optional[Dict[str, Any]],
+                expected_type: str = "hello") -> Dict[str, Any]:
+    """Validate the handshake; raises :class:`ProtocolError` on mismatch."""
+    if message is None:
+        raise ProtocolError("peer closed before the handshake")
+    if message.get("type") != expected_type:
+        raise ProtocolError(
+            f"expected {expected_type!r} first, got {message.get('type')!r}"
+        )
+    version = message.get("protocol")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version {version!r} is not supported "
+            f"(this side speaks {PROTOCOL_VERSION}); upgrade the older "
+            f"side of the connection"
+        )
+    return message
+
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "MessageStream",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "check_hello",
+    "connect",
+    "create_listener",
+    "hello_message",
+    "parse_address",
+]

@@ -8,7 +8,6 @@ the deprecation path of the old harness entry points.
 
 from __future__ import annotations
 
-import warnings
 
 import pytest
 
@@ -108,19 +107,17 @@ def test_engine_selection():
         simulate("vecadd", params=VECADD, engine="turbo")
 
 
-def test_legacy_harness_entry_points_deprecated():
-    from repro.harness.runner import make_config, run_kernel, run_workload
+def test_legacy_harness_entry_points_removed():
+    """The deprecated run_workload/run_kernel shims are gone for good;
+    make_config survives (pure configuration, no wiring to drift)."""
+    import repro
+    import repro.harness
+    import repro.harness.runner as runner
 
-    config = make_config("gto")  # pure config alias: no warning
+    config = runner.make_config("gto")
     assert config == GPUConfig.preset("fermi", scheduler="gto")
-
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        result = run_kernel("vecadd", config, **VECADD)
-        workload = build_workload("vecadd", **VECADD)
-        result2 = run_workload(workload, config)
-    assert result.cycles > 0
-    assert result2.cycles > 0
-    deprecations = [w for w in caught
-                    if issubclass(w.category, DeprecationWarning)]
-    assert len(deprecations) == 2
+    for name in ("run_workload", "run_kernel"):
+        assert not hasattr(runner, name)
+        assert not hasattr(repro, name)
+        assert name not in repro.harness.__all__
+    assert "run_workload" not in repro.__all__

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.harness.runner import make_config, run_workload
+from repro.api import simulate
+from repro.harness.runner import make_config
 from repro.kernels import build
 
 HT = dict(n_threads=256, n_buckets=8, items_per_thread=1, block_dim=128)
@@ -15,7 +16,7 @@ def run_ht(bows=None, ddos=None, scheduler="gto", **config_overrides):
         num_sms=1, max_warps_per_sm=8, max_cycles=8_000_000,
         **config_overrides,
     )
-    return run_workload(build("ht", **HT), config)
+    return simulate(build("ht", **HT), config=config)
 
 
 def test_bows_reduces_spin_instructions():
@@ -86,10 +87,10 @@ def test_larger_delays_cut_more_spin():
 def test_tb_barrier_throttling_mutes_bows():
     """Paper: TB's own barrier throttling leaves little for BOWS."""
     config = make_config("gto", num_sms=1, max_warps_per_sm=8)
-    base = run_workload(build("tb", **TB), config)
+    base = simulate(build("tb", **TB), config=config)
     config_bows = make_config("gto", bows=True, num_sms=1,
                               max_warps_per_sm=8)
-    bows = run_workload(build("tb", **TB), config_bows)
+    bows = simulate(build("tb", **TB), config=config_bows)
     # At this tiny scale the adaptive walk is noisy; TB must merely
     # stay within +/-50% of the baseline (full-scale TB in benchmarks/
     # is held to a tighter band), and instruction count must not grow.
@@ -103,10 +104,10 @@ def test_bows_does_not_affect_sync_free_kernels_with_xor():
     """No detections -> scheduling identical to the baseline."""
     params = dict(n_threads=64, per_thread=8, block_dim=32)
     config = make_config("gto", num_sms=1, max_warps_per_sm=8)
-    base = run_workload(build("vecadd", **params), config)
+    base = simulate(build("vecadd", **params), config=config)
     config_bows = make_config("gto", bows=5000, num_sms=1,
                               max_warps_per_sm=8)
-    bows = run_workload(build("vecadd", **params), config_bows)
+    bows = simulate(build("vecadd", **params), config=config_bows)
     assert bows.cycles == base.cycles
     assert (bows.stats.warp_instructions == base.stats.warp_instructions)
 
@@ -122,7 +123,7 @@ def test_magic_locks_mode():
     """Ideal-blocking proxy: one acquire per critical section."""
     config = make_config("gto", magic_locks=True, num_sms=1,
                          max_warps_per_sm=8)
-    result = run_workload(build("ht", **HT), config, validate=False)
+    result = simulate(build("ht", **HT), config=config, validate=False)
     locks = result.stats.locks
     assert locks.inter_warp_fail == 0
     assert locks.intra_warp_fail == 0

@@ -4,7 +4,8 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.harness.reporting import format_table, geomean
-from repro.harness.runner import make_config, run_kernel
+from repro.api import simulate
+from repro.harness.runner import make_config
 from repro.sim.config import (
     BOWSConfig,
     DDOSConfig,
@@ -103,10 +104,11 @@ def test_make_config_rejects_bad_inputs():
         make_config(ddos="yes")
 
 
-def test_run_kernel_one_shot():
+def test_simulate_by_name_one_shot():
     config = make_config("gto", num_sms=1, max_warps_per_sm=4)
-    result = run_kernel(
-        "vecadd", config, n_threads=64, per_thread=2, block_dim=32
+    result = simulate(
+        "vecadd", config=config,
+        params=dict(n_threads=64, per_thread=2, block_dim=32),
     )
     assert result.cycles > 0
 

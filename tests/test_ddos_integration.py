@@ -3,7 +3,8 @@
 import pytest
 
 from repro.harness.ddos_eval import evaluate_ddos, score_result
-from repro.harness.runner import make_config, run_workload
+from repro.api import simulate
+from repro.harness.runner import make_config
 from repro.kernels import build
 from repro.sim.config import DDOSConfig
 
@@ -36,7 +37,7 @@ def run_with_ddos(kernel, params, **ddos_overrides):
         num_sms=1, max_warps_per_sm=8, max_cycles=5_000_000,
     )
     workload = build(kernel, **params)
-    return run_workload(workload, config)
+    return simulate(workload, config=config)
 
 
 @pytest.mark.parametrize("kernel", sorted(SYNC_CASES))

@@ -9,7 +9,8 @@ workload parameters; each case fully simulates the kernel.
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.harness.runner import make_config, run_workload
+from repro.api import simulate
+from repro.harness.runner import make_config
 from repro.kernels import build
 
 SLOW = settings(
@@ -33,7 +34,7 @@ def config(scheduler="gto", bows=None):
 def test_hashtable_mutual_exclusion(seed, n_buckets, scheduler):
     workload = build("ht", n_threads=64, n_buckets=n_buckets,
                      items_per_thread=1, block_dim=64, seed=seed)
-    run_workload(workload, config(scheduler))  # validate() runs inside
+    simulate(workload, config=config(scheduler))  # validate() runs inside
 
 
 @SLOW
@@ -45,7 +46,7 @@ def test_hashtable_mutual_exclusion(seed, n_buckets, scheduler):
 def test_atm_balance_conservation(seed, n_accounts, bows):
     workload = build("atm", n_threads=64, n_accounts=n_accounts,
                      rounds=1, block_dim=64, seed=seed)
-    run_workload(workload, config(bows=bows))
+    simulate(workload, config=config(bows=bows))
 
 
 @SLOW
@@ -53,7 +54,7 @@ def test_atm_balance_conservation(seed, n_accounts, bows):
 def test_tsp_global_minimum(seed):
     workload = build("tsp", n_threads=64, eval_iters=8, block_dim=64,
                      seed=seed)
-    run_workload(workload, config())
+    simulate(workload, config=config())
 
 
 @SLOW
@@ -64,7 +65,7 @@ def test_tsp_global_minimum(seed):
 def test_cloth_ledger_replay(seed, n_particles):
     workload = build("ds", n_threads=64, n_particles=n_particles,
                      constraints_per_thread=1, block_dim=64, seed=seed)
-    run_workload(workload, config())
+    simulate(workload, config=config())
 
 
 @SLOW
@@ -76,7 +77,7 @@ def test_cloth_ledger_replay(seed, n_particles):
 def test_nw_dataflow_order(n_cols, direction, bows):
     workload = build(f"nw{direction}", n_threads=64, n_cols=n_cols,
                      cell_work=2, block_dim=64)
-    run_workload(workload, config(bows=bows))
+    simulate(workload, config=config(bows=bows))
 
 
 @SLOW
@@ -84,7 +85,7 @@ def test_nw_dataflow_order(n_cols, direction, bows):
 def test_tb_no_lost_bodies(seed, bows):
     workload = build("tb", n_threads=64, n_cells=8, items_per_thread=1,
                      block_dim=64, seed=seed)
-    run_workload(workload, config(bows=bows))
+    simulate(workload, config=config(bows=bows))
 
 
 @SLOW
@@ -92,7 +93,7 @@ def test_tb_no_lost_bodies(seed, bows):
 def test_st_signal_order(n_cells):
     workload = build("st", n_threads=64, n_cells=n_cells, cell_work=2,
                      block_dim=64)
-    run_workload(workload, config())
+    simulate(workload, config=config())
 
 
 @SLOW
@@ -105,7 +106,7 @@ def test_sync_free_kernels_compute_correctly(seed, kernel):
     if kernel != "reduction":
         params["per_thread"] = 4
     workload = build(kernel, **params)
-    run_workload(workload, config())
+    simulate(workload, config=config())
 
 
 def test_lock_table_is_empty_after_every_sync_kernel():

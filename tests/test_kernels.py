@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.harness.runner import make_config, run_workload
+from repro.api import simulate
+from repro.harness.runner import make_config
 from repro.kernels import (
     SYNC_FREE_KERNELS,
     SYNC_KERNELS,
@@ -42,7 +43,7 @@ def config():
 @pytest.mark.parametrize("name", sorted(TINY))
 def test_kernel_runs_and_validates(name):
     workload = build(name, **TINY[name])
-    result = run_workload(workload, config())
+    result = simulate(workload, config=config())
     assert result.cycles > 0
     assert result.stats.warp_instructions > 0
 
@@ -74,7 +75,7 @@ def test_sync_free_kernels_have_no_sibs(name):
 @pytest.mark.parametrize("name", sorted(SYNC_KERNELS))
 def test_sync_kernels_record_lock_or_wait_activity(name):
     workload = build(name, **TINY[name])
-    result = run_workload(workload, config())
+    result = simulate(workload, config=config())
     assert result.stats.locks.total > 0, name
 
 
@@ -86,13 +87,13 @@ def test_ht_meta():
 
 def test_ht_backoff_variant_runs():
     workload = build("ht_backoff", delay_factor=50, **TINY["ht"])
-    result = run_workload(workload, config())
+    result = simulate(workload, config=config())
     assert result.cycles > 0
 
 
 def test_ht_validator_catches_lost_insertion():
     workload = build("ht", **TINY["ht"])
-    result = run_workload(workload, config(), validate=False)
+    result = simulate(workload, config=config(), validate=False)
     heads = workload.launch.params["heads"]
     # Sever one bucket chain: the validator must notice lost nodes.
     head_words = workload.memory.load_array(heads, TINY["ht"]["n_buckets"])
@@ -104,7 +105,7 @@ def test_ht_validator_catches_lost_insertion():
 
 def test_atm_validator_catches_lost_update():
     workload = build("atm", **TINY["atm"])
-    run_workload(workload, config(), validate=False)
+    simulate(workload, config=config(), validate=False)
     accounts = workload.launch.params["accounts"]
     value = workload.memory.read_word(accounts)
     workload.memory.write_word(accounts, value + 1)
@@ -114,7 +115,7 @@ def test_atm_validator_catches_lost_update():
 
 def test_tsp_validator_catches_wrong_best():
     workload = build("tsp", **TINY["tsp"])
-    run_workload(workload, config(), validate=False)
+    simulate(workload, config=config(), validate=False)
     best = workload.launch.params["best_addr"]
     workload.memory.write_word(best, -123)
     with pytest.raises(WorkloadError, match="not the minimum"):
@@ -123,7 +124,7 @@ def test_tsp_validator_catches_wrong_best():
 
 def test_nw_validator_catches_dependency_violation():
     workload = build("nw1", **TINY["nw1"])
-    run_workload(workload, config(), validate=False)
+    simulate(workload, config=config(), validate=False)
     grid = workload.launch.params["grid"]
     width = TINY["nw1"]["n_cols"] + 2
     # Corrupt a computed cell: storage row 1 (first real row), col 5.
@@ -134,7 +135,7 @@ def test_nw_validator_catches_dependency_violation():
 
 def test_st_validator_catches_premature_run():
     workload = build("st", **TINY["st"])
-    run_workload(workload, config(), validate=False)
+    simulate(workload, config=config(), validate=False)
     sortd = workload.launch.params["sortd"]
     workload.memory.write_word(sortd + 4, -5)
     with pytest.raises(WorkloadError, match="ran before its parent"):
@@ -143,7 +144,7 @@ def test_st_validator_catches_premature_run():
 
 def test_tb_validator_catches_duplicate_ticket():
     workload = build("tb", **TINY["tb"])
-    run_workload(workload, config(), validate=False)
+    simulate(workload, config=config(), validate=False)
     slots = workload.launch.params["slots"]
     first = workload.memory.read_word(slots)
     workload.memory.write_word(slots + 4, first)  # duplicate an entry
@@ -153,7 +154,7 @@ def test_tb_validator_catches_duplicate_ticket():
 
 def test_ds_validator_catches_double_apply():
     workload = build("ds", **TINY["ds"])
-    run_workload(workload, config(), validate=False)
+    simulate(workload, config=config(), validate=False)
     positions = workload.launch.params["positions"]
     value = workload.memory.read_word(positions)
     workload.memory.write_word(positions, value - 7)
@@ -180,7 +181,7 @@ def test_grid_geometry_validation():
 def test_workloads_are_single_use():
     """Running mutates memory; a fresh build starts clean."""
     first = build("ht", **TINY["ht"])
-    run_workload(first, config())
+    simulate(first, config=config())
     second = build("ht", **TINY["ht"])
     heads = second.launch.params["heads"]
     assert (second.memory.load_array(

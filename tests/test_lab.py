@@ -394,9 +394,9 @@ def test_use_runner_scopes_the_current_runner():
 
 
 def test_workload_reuse_raises():
-    from repro.harness.runner import run_workload
+    from repro.api import simulate
 
     workload = build("vecadd", **VECADD)
-    run_workload(workload, make_config("gto"))
+    simulate(workload, config=make_config("gto"))
     with pytest.raises(WorkloadReuseError, match="fresh"):
-        run_workload(workload, make_config("gto"))
+        simulate(workload, config=make_config("gto"))

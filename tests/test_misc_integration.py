@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.harness.runner import make_config, run_workload
+from repro.api import simulate
+from repro.harness.runner import make_config
 from repro.kernels import build
 from repro.sim.config import DDOSConfig
 
@@ -10,11 +11,10 @@ from repro.sim.config import DDOSConfig
 def test_pascal_preset_runs_sync_kernel():
     config = make_config("gto", preset="pascal", num_sms=2,
                          max_warps_per_sm=8)
-    result = run_workload(
+    result = simulate(
         build("ht", n_threads=256, n_buckets=8, items_per_thread=1,
               block_dim=128),
-        config,
-    )
+        config=config)
     assert result.cycles > 0
 
 
@@ -35,7 +35,7 @@ def test_simulation_is_deterministic():
                          items_per_thread=1, block_dim=64, seed=3)
         config = make_config("gto", bows=True, num_sms=1,
                              max_warps_per_sm=8)
-        results.append(run_workload(workload, config))
+        results.append(simulate(workload, config=config))
     assert results[0].cycles == results[1].cycles
     assert (results[0].stats.warp_instructions
             == results[1].stats.warp_instructions)
@@ -53,7 +53,7 @@ def test_software_backoff_delay_loop_not_flagged_by_ddos():
                      items_per_thread=1, block_dim=64, delay_factor=50)
     config = make_config("gto", ddos=DDOSConfig(), num_sms=1,
                          max_warps_per_sm=8)
-    result = run_workload(workload, config)
+    result = simulate(workload, config=config)
     truth = workload.launch.program.true_sibs()
     assert truth <= result.predicted_sibs()
     for extra in result.predicted_sibs() - truth:
@@ -72,14 +72,14 @@ def test_lrr_and_cawa_complete_every_sync_kernel():
     for scheduler in ("lrr", "cawa"):
         for kernel, params in cases.items():
             config = make_config(scheduler, num_sms=1, max_warps_per_sm=4)
-            run_workload(build(kernel, **params), config)
+            simulate(build(kernel, **params), config=config)
 
 
 def test_multi_sm_lock_contention_is_tracked_globally():
     """Inter-warp failure classification works across SM boundaries."""
     workload = build("tsp", n_threads=128, eval_iters=4, block_dim=64)
     config = make_config("gto", num_sms=2, max_warps_per_sm=2)
-    result = run_workload(workload, config)
+    result = simulate(workload, config=config)
     # The single global lock is contended across SMs.
     assert result.stats.locks.inter_warp_fail > 0
     assert result.stats.locks.intra_warp_fail == 0  # lane-serialized
@@ -87,14 +87,14 @@ def test_multi_sm_lock_contention_is_tracked_globally():
 
 def test_energy_populated_on_results():
     workload = build("vecadd", n_threads=64, per_thread=2, block_dim=32)
-    result = run_workload(workload, make_config("gto", num_sms=1,
+    result = simulate(workload, config=make_config("gto", num_sms=1,
                                                 max_warps_per_sm=4))
     assert result.stats.dynamic_energy_pj > 0
 
 
 def test_issue_slot_accounting():
     workload = build("vecadd", n_threads=64, per_thread=2, block_dim=32)
-    result = run_workload(workload, make_config("gto", num_sms=1,
+    result = simulate(workload, config=make_config("gto", num_sms=1,
                                                 max_warps_per_sm=4))
     stats = result.stats
     assert stats.issued_slots <= stats.issue_slots

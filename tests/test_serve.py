@@ -1,0 +1,382 @@
+"""End-to-end tests for the ``repro serve`` daemon and its client.
+
+Every test runs a real daemon (thread-mode workers: deterministic and
+cheap — the dispatch/dedup/streaming machinery is identical to process
+mode) against real simulations over a real Unix socket.  Socket paths
+live under ``tempfile.mkdtemp`` because ``sun_path`` is capped at ~108
+bytes and pytest tmp_path can exceed it.
+
+Covered guarantees (see ``docs/serve.md``):
+
+* results through the daemon are **bitwise-identical** to direct
+  :func:`~repro.lab.runner.execute_run` results;
+* concurrent duplicate submissions trigger **exactly one** simulation;
+* a cached spec is answered with **no dispatch**;
+* a client disconnecting **mid-stream** never disturbs the job or its
+  other subscribers;
+* SIGTERM **drains to the journal** (subprocess test).
+"""
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+import pytest
+
+import repro.serve.daemon as daemon_mod
+from repro.harness.runner import make_config
+from repro.lab.cache import ResultCache
+from repro.lab.results import RunResult
+from repro.lab.runner import execute_run
+from repro.lab.spec import RunSpec
+from repro.obs import ObsConfig
+from repro.serve import ServeClient, ServeDaemon, ServeError
+
+VECADD = dict(n_threads=64, per_thread=2, block_dim=32)
+HT = dict(n_threads=64, n_buckets=8, items_per_thread=1, block_dim=64)
+
+
+def _spec(kernel="vecadd", params=VECADD, obs=None, label=None, **kw):
+    return RunSpec(kernel=kernel, config=make_config("gto"), params=params,
+                   obs=obs, label=label, **kw)
+
+
+@pytest.fixture()
+def serve_dir():
+    # Short-lived private dir: unix socket + cache + journal + spool.
+    path = tempfile.mkdtemp(prefix="repro-serve-test-")
+    yield path
+    shutil.rmtree(path, ignore_errors=True)
+
+
+@pytest.fixture()
+def daemon(serve_dir):
+    d = ServeDaemon(
+        os.path.join(serve_dir, "serve.sock"),
+        workers=1, mode="thread",
+        cache=ResultCache(os.path.join(serve_dir, "cache")),
+        journal=os.path.join(serve_dir, "journal.jsonl"),
+        spool_dir=os.path.join(serve_dir, "spool"),
+        poll_interval_s=0.01,
+        grace_s=10.0,
+    )
+    d.start()
+    yield d
+    d.close()
+
+
+def _client(daemon, name="test"):
+    return ServeClient(daemon.address, name=name)
+
+
+# --------------------------------------------------------- happy path
+
+
+def test_submit_streams_and_matches_direct_run(daemon):
+    """A served run streams samples and is bitwise-identical to a
+    direct execute_run of the same spec (minus wall-clock fields)."""
+    spec = _spec(obs=ObsConfig(sample_interval=100), label="obs-run")
+    direct = execute_run(spec)
+
+    with _client(daemon) as client:
+        handle = client.submit(spec)
+        assert handle.status == "queued"
+        kinds = [m["kind"] for m in handle.stream()]
+        served = handle.outcome()
+
+    assert isinstance(served, RunResult)
+    assert served.from_cache is False
+    assert served.label == "obs-run"
+    # The stream carried lifecycle marks and live obs samples.
+    assert "lifecycle" in kinds
+    assert "sample" in kinds
+    # Bitwise identity: everything but wall-clock timing matches.
+    a, b = served.to_dict(), direct.to_dict()
+    for volatile in ("elapsed_s", "phases"):
+        a.pop(volatile), b.pop(volatile)
+    assert a == b
+
+
+def test_cache_hit_answers_without_dispatch(daemon):
+    spec = _spec()
+    with _client(daemon) as client:
+        first = client.submit(spec)
+        assert isinstance(first.outcome(timeout=60), RunResult)
+        second = client.submit(spec)
+        assert second.status == "cached"
+        cached = second.outcome(timeout=60)
+    assert cached.from_cache is True
+    assert cached.cycles == first.outcome().cycles
+    status = daemon.status()
+    assert status["counters"]["dispatched"] == 1
+    assert status["counters"]["cache_hits"] == 1
+
+
+def test_prewarmed_cache_never_dispatches(serve_dir):
+    """A spec simulated by a *direct* Runner lands in the shared cache;
+    the daemon answers it instantly with zero dispatches."""
+    spec = _spec()
+    cache = ResultCache(os.path.join(serve_dir, "cache"))
+    cache.put(spec, execute_run(spec))
+    d = ServeDaemon(os.path.join(serve_dir, "warm.sock"),
+                    workers=1, mode="thread", cache=cache)
+    d.start()
+    try:
+        with _client(d) as client:
+            handle = client.submit(spec)
+            assert handle.status == "cached"
+            assert handle.outcome(timeout=60).from_cache is True
+        assert d.status()["counters"]["dispatched"] == 0
+        assert d.status()["counters"]["cache_hits"] == 1
+    finally:
+        d.close()
+
+
+# ------------------------------------------------------------- dedup
+
+
+@pytest.fixture()
+def gated_worker(monkeypatch):
+    """Block the worker entry until released — makes in-flight windows
+    deterministic instead of racing real simulations."""
+    gate = threading.Event()
+    real = daemon_mod.serve_entry
+
+    def gated(spec, *args, **kwargs):
+        assert gate.wait(30), "test forgot to release the worker gate"
+        return real(spec, *args, **kwargs)
+
+    monkeypatch.setattr(daemon_mod, "serve_entry", gated)
+    return gate
+
+
+def test_concurrent_duplicates_simulate_exactly_once(daemon, gated_worker):
+    """Two clients racing the same spec: one simulation, two results."""
+    spec = _spec(label="dup")
+    with _client(daemon, "racer-a") as a, _client(daemon, "racer-b") as b:
+        ha = a.submit(spec)
+        # Wait until the job is dispatched (parked at the gate), the
+        # widest possible in-flight window.
+        deadline = time.monotonic() + 10
+        while daemon.status()["counters"]["dispatched"] < 1:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        hb = b.submit(spec)
+        assert hb.status == "attached"
+        gated_worker.set()
+        ra, rb = ha.outcome(timeout=60), hb.outcome(timeout=60)
+
+    assert isinstance(ra, RunResult) and isinstance(rb, RunResult)
+    assert ra.cycles == rb.cycles
+    counters = daemon.status()["counters"]
+    assert counters["dispatched"] == 1      # exactly one simulation
+    assert counters["attached"] == 1
+    assert counters["completed"] == 1
+
+
+def test_duplicate_while_queued_attaches(daemon, gated_worker):
+    """The dedup window also covers the queue, not just running jobs:
+    with one gated worker, a second distinct spec sits queued and its
+    duplicate attaches to it."""
+    occupier, queued = _spec(label="occupier"), _spec(params=HT, kernel="ht")
+    with _client(daemon) as client:
+        h0 = client.submit(occupier)     # occupies the only worker
+        h1 = client.submit(queued)       # waits in the scheduler
+        h2 = client.submit(queued)       # duplicate of the queued job
+        assert h1.status == "queued"
+        assert h2.status == "attached"
+        gated_worker.set()
+        assert isinstance(h0.outcome(timeout=60), RunResult)
+        r1, r2 = h1.outcome(timeout=60), h2.outcome(timeout=60)
+    assert r1.cycles == r2.cycles
+    assert daemon.status()["counters"]["dispatched"] == 2
+
+
+# -------------------------------------------------------- disconnects
+
+
+def test_client_disconnect_mid_stream_keeps_job_alive(daemon, gated_worker):
+    """A subscriber vanishing mid-run never cancels the shared work:
+    the surviving subscriber still gets the result, and the result
+    still lands in the cache for the next asker."""
+    spec = _spec(obs=ObsConfig(sample_interval=100), label="survivor")
+    doomed = _client(daemon, "doomed")
+    keeper = _client(daemon, "keeper")
+    try:
+        hd = doomed.submit(spec)
+        deadline = time.monotonic() + 10
+        while daemon.status()["counters"]["dispatched"] < 1:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        hk = keeper.submit(spec)
+        assert hk.status == "attached"
+        # The doomed client hangs up while its job is mid-flight.
+        doomed.close()
+        gated_worker.set()
+        result = hk.outcome(timeout=60)
+        assert isinstance(result, RunResult)
+        assert result.label == "survivor"
+        # The daemon shrugged off the dead socket: still answering.
+        assert keeper.ping()
+        rerun = keeper.submit(spec)
+        assert rerun.status == "cached"
+        assert rerun.outcome(timeout=60).from_cache is True
+    finally:
+        doomed.close()
+        keeper.close()
+    assert hd.done  # aborted client-side when the connection dropped
+
+
+def test_connection_loss_fails_outstanding_handles(daemon, gated_worker):
+    spec = _spec(label="orphaned")
+    client = _client(daemon)
+    handle = client.submit(spec)
+    client.close()
+    gated_worker.set()
+    assert handle.wait(10)
+    with pytest.raises(ServeError, match="connection lost"):
+        handle.outcome()
+
+
+# ----------------------------------------------------------- protocol
+
+
+def test_protocol_version_mismatch_refused(daemon):
+    from repro.serve import protocol
+
+    sock = protocol.connect(daemon.address, timeout_s=10)
+    stream = protocol.MessageStream(sock)
+    try:
+        stream.send({"type": "hello", "protocol": 999, "client": "old"})
+        reply = stream.recv()
+        assert reply["type"] == "error"
+        assert "version" in reply["message"]
+    finally:
+        stream.close()
+
+
+def test_status_and_ping(daemon):
+    with _client(daemon) as client:
+        assert client.ping()
+        status = client.status()
+    assert status["type"] == "status"
+    assert status["mode"] == "thread"
+    assert status["workers"] == 1
+    assert set(daemon_mod.COUNTER_NAMES) <= set(status["counters"])
+
+
+def test_submit_refused_while_draining(daemon, gated_worker):
+    # A gated in-flight job keeps the daemon in the draining state
+    # (grace period) instead of stopping instantly.
+    with _client(daemon) as client:
+        running = client.submit(_spec(label="inflight"))
+        deadline = time.monotonic() + 10
+        while daemon.status()["counters"]["dispatched"] < 1:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        daemon.request_shutdown(drain=True)
+        with pytest.raises(ServeError, match="draining"):
+            client.submit(_spec(kernel="ht", params=HT))
+        gated_worker.set()
+        # The in-flight run still finishes and reaches its subscriber.
+        assert isinstance(running.outcome(timeout=60), RunResult)
+
+
+# ------------------------------------------------------- process mode
+
+
+def test_process_mode_end_to_end(serve_dir):
+    """The default (process-pool) worker mode: same results, same
+    streaming, across a real process boundary."""
+    d = ServeDaemon(os.path.join(serve_dir, "proc-mode.sock"),
+                    workers=1, mode="process",
+                    cache=ResultCache(os.path.join(serve_dir, "cache")),
+                    spool_dir=os.path.join(serve_dir, "spool"),
+                    poll_interval_s=0.01)
+    d.start()
+    try:
+        spec = _spec(obs=ObsConfig(sample_interval=100), label="proc")
+        with _client(d) as client:
+            handle = client.submit(spec)
+            kinds = [m["kind"] for m in handle.stream()]
+            result = handle.outcome(timeout=120)
+        assert isinstance(result, RunResult)
+        assert "sample" in kinds
+        direct = execute_run(spec)
+        a, b = result.to_dict(), direct.to_dict()
+        for volatile in ("elapsed_s", "phases"):
+            a.pop(volatile), b.pop(volatile)
+        assert a == b
+    finally:
+        d.close()
+
+
+# ------------------------------------------------- SIGTERM drain (e2e)
+
+
+def test_sigterm_drains_to_journal(serve_dir):
+    """A real ``repro serve`` process: SIGTERM exits 0 after a drain,
+    the journal records the work and the drain, and a fresh daemon on
+    the same cache answers the resubmitted spec without simulating."""
+    sock = os.path.join(serve_dir, "proc.sock")
+    journal = os.path.join(serve_dir, "journal.jsonl")
+    cache_dir = os.path.join(serve_dir, "cache")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(os.path.dirname(__file__), "..", "src"),
+         env.get("PYTHONPATH", "")]
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", sock,
+         "--workers", "1", "--mode", "thread", "--quiet",
+         "--journal", journal, "--cache-dir", cache_dir],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+    )
+    try:
+        deadline = time.monotonic() + 30
+        while not os.path.exists(sock):
+            assert proc.poll() is None, proc.stderr.read().decode()
+            assert time.monotonic() < deadline, "daemon never bound"
+            time.sleep(0.05)
+        spec = _spec(label="journaled")
+        with ServeClient(sock, name="sigterm-test") as client:
+            result = client.submit(spec).outcome(timeout=120)
+        assert isinstance(result, RunResult)
+
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=60) == 0  # clean drain, not 130
+        assert not os.path.exists(sock)    # socket file removed
+
+        records = [json.loads(line)
+                   for line in open(journal, encoding="utf-8")]
+        types = [r["type"] for r in records]
+        assert "spec" in types and "done" in types
+        notes = [r["note"] for r in records if r["type"] == "note"]
+        assert "serve_start" in notes
+        assert "drain" in notes and "serve_exit" in notes
+        done = [r for r in records if r["type"] == "done"]
+        assert done[0]["hash"] == spec.content_hash()
+
+        # The drained daemon's cache survives it.
+        d = ServeDaemon(os.path.join(serve_dir, "again.sock"),
+                        workers=1, mode="thread",
+                        cache=ResultCache(cache_dir))
+        d.start()
+        try:
+            with ServeClient(d.address, name="resume") as client:
+                again = client.submit(spec)
+                assert again.status == "cached"
+                assert again.outcome(timeout=60).cycles == result.cycles
+            assert d.status()["counters"]["dispatched"] == 0
+        finally:
+            d.close()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)

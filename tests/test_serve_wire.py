@@ -1,0 +1,159 @@
+"""Golden tests for the versioned serve wire format.
+
+The wire layout is a compatibility contract between daemons and clients
+that may be built from different checkouts.  These tests freeze the
+schema: changing :data:`~repro.serve.wire.RESULT_WIRE_KEYS` /
+:data:`~repro.serve.wire.FAILURE_WIRE_KEYS` without bumping
+:data:`~repro.serve.wire.WIRE_SCHEMA_VERSION` (and updating the golden
+tuples below) must fail here before it corrupts a socket.
+"""
+
+import pytest
+
+from repro.harness.runner import make_config
+from repro.lab.results import RunFailure
+from repro.lab.runner import execute_run
+from repro.lab.spec import RunSpec
+from repro.serve import wire
+
+VECADD = dict(n_threads=64, per_thread=2, block_dim=32)
+
+
+@pytest.fixture(scope="module")
+def result():
+    spec = RunSpec(kernel="vecadd", config=make_config("gto"),
+                   params=VECADD, label="wire-test")
+    run = execute_run(spec)
+    run.label = spec.label
+    return run
+
+
+@pytest.fixture()
+def failure():
+    spec = RunSpec(kernel="vecadd", config=make_config("gto"),
+                   params=VECADD, label="wire-fail")
+    return RunFailure(
+        spec=spec, spec_hash=spec.content_hash(),
+        error_type="SimulationTimeout", message="budget exhausted",
+        attempts=2, elapsed_s=1.5, transient=True,
+        hang={"kind": "timeout"},
+    )
+
+
+# ---------------------------------------------------------- golden sets
+
+
+def test_wire_schema_version_golden():
+    assert wire.WIRE_SCHEMA_VERSION == 1
+
+
+def test_result_wire_keys_golden():
+    # Frozen for wire schema v1.  Adding or removing a key requires a
+    # WIRE_SCHEMA_VERSION bump and an update here.
+    assert wire.RESULT_WIRE_KEYS == (
+        "schema_version",
+        "spec_hash",
+        "cycles",
+        "stats",
+        "predicted_sibs",
+        "ddos",
+        "elapsed_s",
+        "phases",
+        "obs",
+        "sanitizer",
+        "attempts",
+        "from_cache",
+        "label",
+    )
+
+
+def test_failure_wire_keys_golden():
+    assert wire.FAILURE_WIRE_KEYS == (
+        "schema_version",
+        "spec_hash",
+        "error_type",
+        "message",
+        "attempts",
+        "elapsed_s",
+        "transient",
+        "hang",
+        "label",
+    )
+
+
+# ----------------------------------------------------------- roundtrips
+
+
+def test_result_roundtrip(result):
+    data = wire.result_to_wire(result)
+    assert set(data) == set(wire.RESULT_WIRE_KEYS)
+    assert data["schema_version"] == wire.WIRE_SCHEMA_VERSION
+    decoded = wire.result_from_wire(data)
+    assert decoded.to_dict() == result.to_dict()
+    assert decoded.attempts == result.attempts
+    assert decoded.from_cache == result.from_cache
+    assert decoded.label == "wire-test"
+
+
+def test_failure_roundtrip(failure):
+    data = wire.failure_to_wire(failure)
+    assert set(data) == set(wire.FAILURE_WIRE_KEYS)
+    assert data["label"] == "wire-fail"
+    decoded = wire.failure_from_wire(data, spec=failure.spec)
+    assert decoded.spec is failure.spec
+    assert decoded.error_type == "SimulationTimeout"
+    assert decoded.attempts == 2
+    assert decoded.transient is True
+    assert decoded.hang == {"kind": "timeout"}
+
+
+# ------------------------------------------------------------ rejection
+
+
+def test_version_mismatch_rejected(result):
+    data = wire.result_to_wire(result)
+    data["schema_version"] = wire.WIRE_SCHEMA_VERSION + 1
+    with pytest.raises(wire.WireFormatError, match="schema_version"):
+        wire.result_from_wire(data)
+
+
+def test_missing_version_rejected(result):
+    data = wire.result_to_wire(result)
+    del data["schema_version"]
+    with pytest.raises(wire.WireFormatError, match="schema_version"):
+        wire.result_from_wire(data)
+
+
+def test_extra_key_rejected(result):
+    data = wire.result_to_wire(result)
+    data["surprise"] = 1
+    with pytest.raises(wire.WireFormatError, match="unexpected"):
+        wire.result_from_wire(data)
+
+
+def test_missing_key_rejected(result):
+    data = wire.result_to_wire(result)
+    del data["cycles"]
+    with pytest.raises(wire.WireFormatError, match="missing"):
+        wire.result_from_wire(data)
+
+
+def test_failure_version_mismatch_rejected(failure):
+    data = wire.failure_to_wire(failure)
+    data["schema_version"] = 99
+    with pytest.raises(wire.WireFormatError, match="99"):
+        wire.failure_from_wire(data)
+
+
+def test_non_object_rejected():
+    with pytest.raises(wire.WireFormatError, match="expected an object"):
+        wire.check_wire_version([], "result")
+
+
+def test_encoding_enforces_frozen_set(result, monkeypatch):
+    # A drifted encoder (new to_dict key) must fail at encode time, not
+    # silently ship a payload every v1 client rejects.
+    drifted = dict(result.to_dict(), novel=True)
+    monkeypatch.setattr(type(result), "to_dict", lambda self: dict(drifted))
+    with pytest.raises(wire.WireFormatError, match="novel"):
+        wire.result_to_wire(result)

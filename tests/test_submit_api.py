@@ -1,0 +1,147 @@
+"""The unified submission API: one call shape over both backends.
+
+``submit``/``submit_many`` are the indifference point every tool (CLI,
+sweep, bench, fuzz) goes through; these tests pin the handle contract —
+``done`` / ``status`` / ``stream()`` / ``outcome()`` / ``result()`` —
+on the local backend and its equivalence with the server backend
+(server internals get their own workout in ``test_serve.py``).
+"""
+
+import os
+import shutil
+import tempfile
+
+import pytest
+
+from repro.api import (RunFailedError, RunHandle, SubmitBatch, submit,
+                       submit_many)
+from repro.harness.runner import make_config
+from repro.lab.results import RunFailure, RunResult
+from repro.lab.runner import BatchReport, Runner
+from repro.lab.spec import RunSpec
+from repro.obs import ObsConfig
+from repro.serve import ServeDaemon
+
+VECADD = dict(n_threads=64, per_thread=2, block_dim=32)
+
+
+def _spec(obs=None, label=None, kernel="vecadd", params=VECADD):
+    return RunSpec(kernel=kernel, config=make_config("gto"), params=params,
+                   obs=obs, label=label)
+
+
+def _runner():
+    return Runner(workers=1, mode="serial", cache=None, retries=0)
+
+
+# ------------------------------------------------------- local backend
+
+
+def test_local_submit_is_done_immediately():
+    handle = submit(_spec(label="eager"), runner=_runner())
+    assert isinstance(handle, RunHandle)
+    assert handle.backend == "local"
+    assert handle.done
+    assert handle.status == "completed"
+    assert handle.wait(0)
+    result = handle.result()
+    assert isinstance(result, RunResult)
+    assert result.cycles > 0
+    assert result.label == "eager"
+
+
+def test_local_stream_replays_lifecycle_only_without_obs():
+    handle = submit(_spec(), runner=_runner())
+    records = list(handle.stream())
+    assert [r["kind"] for r in records] == ["lifecycle", "lifecycle"]
+    assert records[0]["phase"] == "started"
+    assert records[-1]["phase"] == "finished"
+    assert records[-1]["cycles"] == handle.result().cycles
+
+
+def test_local_stream_replays_obs_samples():
+    handle = submit(_spec(obs=ObsConfig(sample_interval=100)),
+                    runner=_runner())
+    kinds = [r["kind"] for r in handle.stream()]
+    assert kinds[0] == "lifecycle" and kinds[-1] == "lifecycle"
+    assert "sample" in kinds
+    rows = handle.result().obs["series"]["rows"]
+    assert kinds.count("sample") == len(rows)
+
+
+def test_local_failure_surfaces_as_runfailederror():
+    bad = _spec(params=dict(VECADD, per_thread=-1))
+    handle = submit(bad, runner=_runner())
+    assert handle.done
+    outcome = handle.outcome()
+    assert isinstance(outcome, RunFailure)
+    with pytest.raises(RunFailedError) as excinfo:
+        handle.result()
+    assert excinfo.value.failure is outcome
+    # The failed replay stream says so.
+    assert list(handle.stream())[-1]["phase"] == "failed"
+
+
+def test_submit_many_local_preserves_order_and_report():
+    specs = [_spec(label=f"s{i}",
+                   params=dict(VECADD, per_thread=2 + i))
+             for i in range(3)]
+    batch = submit_many(specs, runner=_runner())
+    assert isinstance(batch, SubmitBatch)
+    assert len(batch) == 3
+    assert isinstance(batch.report, BatchReport)
+    results = batch.results()
+    assert [r.label for r in results] == ["s0", "s1", "s2"]
+    hashes = [h.spec.content_hash() for h in batch]
+    assert [r.spec_hash for r in results] == hashes
+
+
+# -------------------------------------------------------- validation
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="unknown backend"):
+        submit(_spec(), backend="cloud")
+
+
+def test_server_backend_requires_server():
+    with pytest.raises(ValueError, match="server="):
+        submit(_spec(), backend="server")
+
+
+# ------------------------------------------------------ server parity
+
+
+@pytest.fixture()
+def daemon():
+    tmp = tempfile.mkdtemp(prefix="repro-submit-test-")
+    d = ServeDaemon(os.path.join(tmp, "serve.sock"),
+                    workers=1, mode="thread",
+                    cache=os.path.join(tmp, "cache"))
+    d.start()
+    yield d
+    d.close()
+    shutil.rmtree(tmp, ignore_errors=True)
+
+
+def test_server_backend_matches_local(daemon):
+    spec = _spec(obs=ObsConfig(sample_interval=100), label="parity")
+    local = submit(spec, runner=_runner()).result()
+    handle = submit(spec, backend="server", server=daemon.address)
+    kinds = [r["kind"] for r in handle.stream()]
+    served = handle.result(timeout=120)
+    assert "sample" in kinds
+    a, b = served.to_dict(), local.to_dict()
+    for volatile in ("elapsed_s", "phases"):
+        a.pop(volatile), b.pop(volatile)
+    assert a == b
+
+
+def test_submit_many_server_reports_like_local(daemon):
+    specs = [_spec(label=f"b{i}", params=dict(VECADD, per_thread=2 + i))
+             for i in range(2)]
+    batch = submit_many(specs, backend="server", server=daemon.address)
+    report = batch.report
+    assert isinstance(report, BatchReport)
+    assert report.failures == []
+    assert [r.label for r in report.results] == ["b0", "b1"]
